@@ -1,0 +1,114 @@
+// Ablation: what each design choice of the solver pipeline buys.
+//
+//  - Unification (Algorithm 3) vs none: number of partitions the DPL
+//    program constructs (partition reuse is the paper's stated goal).
+//  - Section 5.1 relaxation on/off: reduction-buffer elements in MiniAero.
+//  - Section 5.2 private sub-partitions on/off: buffered elements in
+//    Circuit.
+
+#include <iomanip>
+#include <iostream>
+
+#include "apps/circuit.hpp"
+#include "apps/miniaero.hpp"
+#include "apps/pennant.hpp"
+#include "parallelize/parallelize.hpp"
+#include "runtime/executor.hpp"
+#include "support/timer.hpp"
+
+using namespace dpart;
+
+namespace {
+
+void unificationAblation() {
+  std::cout << "== Ablation: unification (constructed partitions) ==\n";
+  std::cout << std::left << std::setw(12) << "app" << std::setw(16)
+            << "unified" << std::setw(16) << "no-unify" << '\n';
+  auto report = [](const std::string& name, region::World& world,
+                   const ir::Program& prog) {
+    parallelize::Options on;
+    parallelize::Options off;
+    off.enableUnification = false;
+    parallelize::AutoParallelizer apOn(world, on);
+    parallelize::AutoParallelizer apOff(world, off);
+    const auto planOn = apOn.plan(prog);
+    const auto planOff = apOff.plan(prog);
+    std::cout << std::setw(12) << name << std::setw(16)
+              << planOn.dpl.constructedPartitions() << std::setw(16)
+              << planOff.dpl.constructedPartitions() << '\n';
+  };
+  {
+    apps::CircuitApp::Params p;
+    p.pieces = 4;
+    apps::CircuitApp app(p);
+    report("Circuit", app.world(), app.program());
+  }
+  {
+    apps::MiniAeroApp::Params p;
+    p.nx = 8;
+    p.ny = 8;
+    p.nzPerPiece = 8;
+    p.pieces = 4;
+    apps::MiniAeroApp app(p);
+    report("MiniAero", app.world(), app.program());
+  }
+  {
+    apps::PennantApp::Params p;
+    p.zx = 12;
+    p.zyPerPiece = 12;
+    p.pieces = 4;
+    apps::PennantApp app(p);
+    report("PENNANT", app.world(), app.program());
+  }
+  std::cout << '\n';
+}
+
+void relaxationAblation() {
+  std::cout << "== Ablation: Sec 5.1 relaxation (MiniAero buffered elems, "
+               "4 pieces, one step) ==\n";
+  for (bool relax : {true, false}) {
+    apps::MiniAeroApp::Params p;
+    p.nx = 8;
+    p.ny = 8;
+    p.nzPerPiece = 8;
+    p.pieces = 4;
+    apps::MiniAeroApp app(p);
+    parallelize::Options opts;
+    opts.enableRelaxation = relax;
+    parallelize::AutoParallelizer ap(app.world(), opts);
+    auto plan = ap.plan(app.program());
+    runtime::PlanExecutor exec(app.world(), plan, p.pieces);
+    exec.run();
+    std::cout << (relax ? "relaxation on:  " : "relaxation off: ")
+              << exec.bufferedElements() << " buffered elements\n";
+  }
+  std::cout << '\n';
+}
+
+void privateSubPartitionAblation() {
+  std::cout << "== Ablation: Sec 5.2 private sub-partitions (Circuit "
+               "buffered elems, 4 pieces, one step) ==\n";
+  for (bool priv : {true, false}) {
+    apps::CircuitApp::Params p;
+    p.pieces = 4;
+    apps::CircuitApp app(p);
+    parallelize::Options opts;
+    opts.enablePrivateSubPartitions = priv;
+    parallelize::AutoParallelizer ap(app.world(), opts);
+    auto plan = ap.plan(app.program());
+    runtime::PlanExecutor exec(app.world(), plan, p.pieces);
+    exec.run();
+    std::cout << (priv ? "private subparts on:  " : "private subparts off: ")
+              << exec.bufferedElements() << " buffered elements\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  unificationAblation();
+  relaxationAblation();
+  privateSubPartitionAblation();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 14e: PENNANT weak scaling — Manual vs Auto+Hint2 vs Auto+Hint1 vs
+// Auto. Auto keeps up only to ~4 nodes (shared-points-first layout under
+// equal(rp)); Hint1 fixes placement but its deeply derived partitions incur
+// runtime handling costs past ~32-64 nodes; Hint2 additionally reuses the
+// generator's side/zone partitions and private-point partition and matches
+// Manual.
+
+#include "scaling_common.hpp"
+
+#include "apps/pennant.hpp"
+
+int main() {
+  using namespace dpart;
+  sim::MachineConfig cfg;
+  std::vector<std::unique_ptr<apps::PennantApp>> keep;
+
+  auto makeParams = [](int nodes) {
+    apps::PennantApp::Params p;
+    p.zx = 48;
+    p.zyPerPiece = 48;
+    p.pieces = static_cast<std::size_t>(nodes);
+    return p;
+  };
+  auto nodes = bench::nodeCounts();
+  auto run = [&](const char* name, auto makeSetup) {
+    return bench::runVariant(name, nodes, cfg, [&, makeSetup](int n) {
+      keep.push_back(std::make_unique<apps::PennantApp>(makeParams(n)));
+      apps::PennantApp& app = *keep.back();
+      bench::VariantRun vr;
+      vr.setup = makeSetup(app);
+      vr.workPerNode = app.workPerPiece();  // zones per node
+      vr.world = &app.world();
+      return vr;
+    });
+  };
+  auto manual =
+      run("Manual", [](apps::PennantApp& a) { return a.manualSetup(); });
+  auto hint2 =
+      run("Auto+Hint2", [](apps::PennantApp& a) { return a.hint2Setup(); });
+  auto hint1 =
+      run("Auto+Hint1", [](apps::PennantApp& a) { return a.hint1Setup(); });
+  auto autoS =
+      run("Auto", [](apps::PennantApp& a) { return a.autoSetup(); });
+
+  bench::printSeries("Figure 14e: PENNANT weak scaling", "zones/s",
+                     {manual, hint2, hint1, autoS});
+  return 0;
+}

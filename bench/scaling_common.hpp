@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/app_common.hpp"
+#include "sim/cluster.hpp"
+
+namespace dpart::bench {
+
+/// Node counts used by every weak-scaling figure (the paper's x-axis).
+inline std::vector<int> nodeCounts(int maxNodes = 256) {
+  std::vector<int> out;
+  for (int n = 1; n <= maxNodes; n *= 2) out.push_back(n);
+  return out;
+}
+
+/// Runs one variant across node counts. `makeSetup(nodes)` must build the
+/// app at that scale (weak scaling: per-node size fixed) and return the
+/// setup plus the app's work-per-node count; the returned series holds
+/// work/s/node from the cluster simulator.
+struct VariantRun {
+  apps::SimSetup setup;
+  double workPerNode = 0;
+  const region::World* world = nullptr;
+};
+
+inline apps::ScalingSeries runVariant(
+    const std::string& name, const std::vector<int>& nodes,
+    const sim::MachineConfig& cfg,
+    const std::function<VariantRun(int)>& makeSetup) {
+  apps::ScalingSeries series;
+  series.name = name;
+  for (int n : nodes) {
+    VariantRun run = makeSetup(n);
+    sim::ClusterSim sim(*run.world, cfg);
+    for (const auto& [r, o] : run.setup.owners) sim.setOwner(r, o);
+    const double sec =
+        sim.simulateStep(run.setup.plan, run.setup.partitions);
+    series.points.push_back(apps::ScalingPoint{
+        n, sec, run.workPerNode / sec});
+  }
+  return series;
+}
+
+inline void printSeries(const std::string& title, const std::string& unit,
+                        const std::vector<apps::ScalingSeries>& series) {
+  std::cout << apps::renderScaling(title, unit, series) << std::endl;
+}
+
+}  // namespace dpart::bench

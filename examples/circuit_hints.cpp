@@ -1,0 +1,64 @@
+// Performance debugging with constraint hints (paper Section 6.4): the
+// Circuit benchmark auto-parallelized with and without the user constraint
+// describing the generator's node partitions, costed on the cluster
+// simulator. Shows the Auto configuration's shared-node hotspot and how the
+// hint removes it.
+
+#include <iomanip>
+#include <iostream>
+
+#include "apps/circuit.hpp"
+#include "sim/cluster.hpp"
+
+using namespace dpart;
+
+int main() {
+  const std::size_t pieces = 32;
+  apps::CircuitApp::Params params;
+  params.pieces = pieces;
+  params.nodesPerCluster = 2048;
+  params.wiresPerCluster = 8192;
+
+  std::cout << std::left << std::setw(12) << "variant" << std::setw(14)
+            << "step (us)" << std::setw(14) << "ghost elems" << std::setw(16)
+            << "buffered elems" << "node-loop iteration partition\n";
+  auto report = [&](const char* name, apps::CircuitApp& app,
+                    apps::SimSetup setup) {
+    sim::MachineConfig cfg;
+    sim::ClusterSim sim(app.world(), cfg);
+    for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+    auto depths = sim::ClusterSim::depthsOf(setup.plan.dpl);
+    double step = 0;
+    std::int64_t ghosts = 0, buffered = 0;
+    for (const auto& pl : setup.plan.loops) {
+      auto res = sim.simulateLoop(pl, setup.partitions, depths);
+      step += res.seconds;
+      ghosts += res.totalGhostElems;
+      buffered += res.totalBufferedElems;
+    }
+    const auto& iter = setup.plan.loops[2].iterPartition;
+    std::cout << std::setw(12) << name << std::setw(14) << step * 1e6
+              << std::setw(14) << ghosts << std::setw(16) << buffered << iter
+              << '\n';
+  };
+
+  {
+    apps::CircuitApp app(params);
+    report("Auto", app, app.autoSetup());
+  }
+  {
+    apps::CircuitApp app(params);
+    report("Auto+Hint", app, app.hintSetup());
+  }
+  {
+    apps::CircuitApp app(params);
+    report("Manual", app, app.manualSetup());
+  }
+
+  std::cout << "\nThe hint:\n"
+               "  DISJ(pn_private u pn_shared) ^\n"
+               "  COMP(pn_private u pn_shared, rn)\n"
+               "lets the solver reuse the generator's partitions instead of\n"
+               "equal(rn), which packs every shared node into subregion 0.\n";
+  return 0;
+}

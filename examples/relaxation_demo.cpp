@@ -1,0 +1,87 @@
+// The Section 5.1 relaxation, end to end (paper Figures 11-12).
+//
+// A loop with two uncentered reductions through different functions cannot
+// get a disjoint iteration partition (Example 7). The optimizer rewrites it
+// into the relaxed, guarded form: the reduction partitions become equal
+// (disjoint + complete), the iteration partition becomes the *union of
+// preimages* (aliased — some iterations run on two tasks), and guards make
+// each contribution count exactly once. Result: zero reduction buffers.
+
+#include <iostream>
+
+#include "ir/interp.hpp"
+#include "parallelize/parallelize.hpp"
+#include "runtime/executor.hpp"
+
+using namespace dpart;
+
+namespace {
+
+void buildWorld(region::World& w) {
+  w.addRegion("R", 1000).addField("val", region::FieldType::F64);
+  w.addRegion("S", 250).addField("acc", region::FieldType::F64);
+  w.defineAffineFn("f", "R", "S", [](region::Index i) { return i / 4; });
+  w.defineAffineFn("g", "R", "S",
+                   [](region::Index i) { return (i / 4 + 100) % 250; });
+  auto val = w.region("R").f64("val");
+  for (region::Index i = 0; i < 1000; ++i) {
+    val[static_cast<std::size_t>(i)] = 1.0 + double(i % 17);
+  }
+}
+
+ir::Program figure11Program() {
+  // for (i in R): S[f(i)] += R[i]; S[g(i)] += R[i]
+  ir::Program prog;
+  prog.name = "figure11";
+  ir::LoopBuilder b("double_scatter", "i", "R");
+  b.loadF64("x", "R", "val", "i");
+  b.apply("j1", "f", "i");
+  b.apply("j2", "g", "i");
+  b.reduce("S", "acc", "j1", "x");
+  b.reduce("S", "acc", "j2", "x");
+  prog.loops.push_back(b.build());
+  return prog;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t pieces = 8;
+  ir::Program prog = figure11Program();
+
+  for (bool relax : {true, false}) {
+    region::World world;
+    buildWorld(world);
+    parallelize::Options opts;
+    opts.enableRelaxation = relax;
+    parallelize::AutoParallelizer ap(world, opts);
+    parallelize::ParallelPlan plan = ap.plan(prog);
+
+    std::cout << "=== relaxation " << (relax ? "ON" : "OFF") << " ===\n";
+    std::cout << plan.dpl.toString();
+    runtime::ExecOptions eopts;
+    eopts.validateAccesses = true;
+    runtime::PlanExecutor exec(world, plan, pieces, eopts);
+    exec.run();
+    exec.preparePartitions();
+    const auto& iter = exec.partition(plan.loops[0].iterPartition);
+    std::cout << "loop relaxed:        " << plan.loops[0].relaxed << '\n'
+              << "iteration partition: disjoint=" << iter.isDisjoint()
+              << " complete=" << iter.isComplete(1000)
+              << " total elements=" << iter.totalElements()
+              << " (region has 1000; the excess is the redundant\n"
+                 "                     computation relaxation trades for "
+                 "buffer elimination)\n"
+              << "buffered elements:   " << exec.bufferedElements() << "\n\n";
+  }
+
+  // Both configurations produce identical results.
+  region::World serial;
+  buildWorld(serial);
+  ir::runSerial(serial, prog);
+  std::cout << "serial S.acc[0..3]: ";
+  auto acc = serial.region("S").f64("acc");
+  for (int i = 0; i < 4; ++i) std::cout << acc[static_cast<std::size_t>(i)] << ' ';
+  std::cout << "\n(all three executions agree; see tests for the full check)\n";
+  return 0;
+}

@@ -1,0 +1,207 @@
+#include "analysis/infer.hpp"
+
+#include <functional>
+
+#include "support/check.hpp"
+
+namespace dpart::analysis {
+
+using dpl::ExprPtr;
+
+namespace {
+
+// Env entry: a function from a target region to the image expression that
+// bounds the values this variable can take — the lambda of Algorithm 1
+// (`y -> \r. image(E, f, r)`).
+using EnvFn = std::function<ExprPtr(const std::string& targetRegion)>;
+
+// Builds the image expression image(E, f, target), simplifying identity
+// images within the same region: image(P_R, f_ID, R) = P_R (the paper
+// performs this simplification in Example 1).
+ExprPtr makeImage(ExprPtr e, const std::string& exprRegion,
+                  const std::string& fnId, const std::string& targetRegion) {
+  if (fnId == region::kIdentityFnId && exprRegion == targetRegion) return e;
+  return dpl::image(std::move(e), fnId, targetRegion);
+}
+
+}  // namespace
+
+LoopConstraints inferConstraints(const region::World& world,
+                                 const ir::Loop& loop,
+                                 constraint::SymbolGen& gen) {
+  LoopConstraints out;
+  out.loopName = loop.name;
+  out.iterRegion = loop.iterRegion;
+
+  constraint::System& c = out.system;
+
+  // Line 7-8: fresh symbol for the iteration space with PART and COMP.
+  const std::string iterSym = gen.fresh();
+  out.iterSymbol = iterSym;
+  c.declareSymbol(iterSym, loop.iterRegion);
+  c.addComp(dpl::symbol(iterSym), loop.iterRegion);
+
+  std::map<std::string, EnvFn> env;
+  std::map<std::string, EnvFn> rawEnv;  // same, but never rebound
+  env[loop.loopVar] = [iterSym, iterRegion = loop.iterRegion](
+                          const std::string& r) {
+    return makeImage(dpl::symbol(iterSym), iterRegion, region::kIdentityFnId,
+                     r);
+  };
+  rawEnv[loop.loopVar] = env[loop.loopVar];
+
+  const ExprPtr iterSymbolExpr = dpl::symbol(iterSym);
+  bool disjAdded = false;
+
+  // Loop-variable aliases: accesses indexed by them are centered.
+  std::set<std::string> loopAliases{loop.loopVar};
+
+  auto envOf = [&](const std::string& var) -> const EnvFn& {
+    auto it = env.find(var);
+    DPART_CHECK(it != env.end(), "no environment entry for variable '" + var +
+                                     "' in loop " + loop.name);
+    return it->second;
+  };
+  auto rawEnvOf = [&](const std::string& var) -> const EnvFn& {
+    auto it = rawEnv.find(var);
+    DPART_CHECK(it != rawEnv.end(), "no raw environment entry for '" + var +
+                                        "' in loop " + loop.name);
+    return it->second;
+  };
+
+  // Handles one region access: introduces the fresh partition symbol and the
+  // subset constraint E <= P (lines 11-13), returning E.
+  //
+  // For uncentered accesses the index variable's environment entry is then
+  // *rebound* at the accessed region to the fresh symbol, so that functions
+  // applied to it later produce chained constraints like
+  // image(P2, h, Cells) <= P3 rather than nested image expressions — this is
+  // the canonical form the paper's Example 5 constraint graphs are built on
+  // (strengthening is sound: the symbol is an upper bound of the raw
+  // expression).
+  auto handleAccess = [&](const ir::Stmt& s) -> ExprPtr {
+    ExprPtr e = envOf(s.idxVar)(s.region);
+    const std::string p = gen.fresh();
+    c.declareSymbol(p, s.region);
+    c.addSubset(e, dpl::symbol(p));
+    out.stmtSymbol[s.id] = p;
+    out.stmtBound[s.id] = e;
+    out.stmtRawBound[s.id] = rawEnvOf(s.idxVar)(s.region);
+    if (!loopAliases.contains(s.idxVar)) {
+      EnvFn old = env[s.idxVar];
+      env[s.idxVar] = [old, p, accessed = s.region](const std::string& r) {
+        return r == accessed ? dpl::symbol(p) : old(r);
+      };
+    }
+    return e;
+  };
+
+  const std::function<void(const std::vector<ir::Stmt>&)> walk =
+      [&](const std::vector<ir::Stmt>& stmts) {
+        for (const ir::Stmt& s : stmts) {
+          switch (s.kind) {
+            case ir::StmtKind::LoadF64: {
+              handleAccess(s);
+              break;
+            }
+            case ir::StmtKind::LoadIdx: {
+              ExprPtr e = handleAccess(s);
+              // Line 14-15: y -> \r. image(E, S[.].field, r).
+              const std::string fnId =
+                  region::World::fieldFnId(s.region, s.field);
+              DPART_CHECK(world.hasFn(fnId),
+                          "pointer field fn '" + fnId +
+                              "' not defined in the World");
+              env[s.var] = [e, fnId, srcRegion = s.region](
+                               const std::string& r) {
+                return makeImage(e, srcRegion, fnId, r);
+              };
+              ExprPtr raw = out.stmtRawBound.at(s.id);
+              rawEnv[s.var] = [raw, fnId, srcRegion = s.region](
+                                  const std::string& r) {
+                return makeImage(raw, srcRegion, fnId, r);
+              };
+              break;
+            }
+            case ir::StmtKind::LoadRange: {
+              ExprPtr e = handleAccess(s);
+              // Section 4: a range load binds its variable to the
+              // generalized IMAGE of the range-valued field function.
+              const std::string fnId =
+                  region::World::fieldFnId(s.region, s.field);
+              DPART_CHECK(world.hasFn(fnId),
+                          "range field fn '" + fnId +
+                              "' not defined in the World");
+              env[s.var] = [e, fnId, srcRegion = s.region](
+                               const std::string& r) {
+                return makeImage(e, srcRegion, fnId, r);
+              };
+              ExprPtr raw = out.stmtRawBound.at(s.id);
+              rawEnv[s.var] = [raw, fnId, srcRegion = s.region](
+                                  const std::string& r) {
+                return makeImage(raw, srcRegion, fnId, r);
+              };
+              break;
+            }
+            case ir::StmtKind::StoreF64: {
+              handleAccess(s);
+              break;
+            }
+            case ir::StmtKind::ReduceF64: {
+              ExprPtr e = handleAccess(s);
+              // Lines 16-17: an uncentered reduction (E != P_R) demands a
+              // disjoint iteration-space partition.
+              if (!dpl::exprEq(e, iterSymbolExpr) && !disjAdded) {
+                c.addDisj(dpl::symbol(iterSym));
+                disjAdded = true;
+              }
+              break;
+            }
+            case ir::StmtKind::ApplyFn: {
+              // Line 18-19: y -> \r. image(Env(x)(dom f), f, r).
+              const region::FnDef& f = world.fn(s.fn);
+              const std::string domain =
+                  f.kind == region::FnKind::Identity ? loop.iterRegion
+                                                     : f.domainRegion;
+              ExprPtr inner = envOf(s.idxVar)(domain);
+              env[s.var] = [inner, fnId = s.fn, domain](
+                               const std::string& r) {
+                return makeImage(inner, domain, fnId, r);
+              };
+              ExprPtr rawInner = rawEnvOf(s.idxVar)(domain);
+              rawEnv[s.var] = [rawInner, fnId = s.fn, domain](
+                                  const std::string& r) {
+                return makeImage(rawInner, domain, fnId, r);
+              };
+              if (f.kind == region::FnKind::Identity &&
+                  loopAliases.contains(s.idxVar)) {
+                loopAliases.insert(s.var);
+              }
+              break;
+            }
+            case ir::StmtKind::Alias: {
+              env[s.var] = envOf(s.src);
+              rawEnv[s.var] = rawEnvOf(s.src);
+              if (loopAliases.contains(s.src)) loopAliases.insert(s.var);
+              break;
+            }
+            case ir::StmtKind::Compute: {
+              break;  // scalar; no partitioning consequence
+            }
+            case ir::StmtKind::InnerLoop: {
+              // The induction variable ranges over the values of rangeVar,
+              // so it inherits rangeVar's environment entry.
+              env[s.loopVar] = envOf(s.rangeVar);
+              rawEnv[s.loopVar] = rawEnvOf(s.rangeVar);
+              walk(s.body);
+              break;
+            }
+          }
+        }
+      };
+  walk(loop.body);
+
+  return out;
+}
+
+}  // namespace dpart::analysis

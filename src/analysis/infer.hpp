@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/parallelizable.hpp"
+#include "constraint/system.hpp"
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+
+namespace dpart::analysis {
+
+/// Constraints inferred from one parallelizable loop (Algorithm 1), plus the
+/// bookkeeping the rewriting stage needs: which partition symbol each
+/// region-accessing statement must use, and which symbol partitions the
+/// iteration space.
+struct LoopConstraints {
+  std::string loopName;
+  std::string iterRegion;
+  std::string iterSymbol;
+  constraint::System system;
+  /// stmt id -> partition symbol assigned to that access.
+  std::map<int, std::string> stmtSymbol;
+  /// stmt id -> lower-bound expression of that access's subset constraint
+  /// (the Env-derived image expression; the rewrite and the optimizer use it
+  /// to recognize which accesses are centered).
+  std::map<int, dpl::ExprPtr> stmtBound;
+  /// stmt id -> the bound computed WITHOUT access rebinding, i.e. the pure
+  /// Algorithm 1 expression chained from the iteration symbol. The Section 5
+  /// optimizers match reductions against the form image(P_iter, f, S) here,
+  /// which rebinding would otherwise hide behind intermediate symbols.
+  std::map<int, dpl::ExprPtr> stmtRawBound;
+};
+
+/// Runs Algorithm 1 on a loop that already passed checkParallelizable().
+///
+/// Fresh symbols are drawn from `gen` so that constraints inferred from
+/// different loops of one program never collide.
+LoopConstraints inferConstraints(const region::World& world,
+                                 const ir::Loop& loop,
+                                 constraint::SymbolGen& gen);
+
+}  // namespace dpart::analysis

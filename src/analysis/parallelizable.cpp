@@ -1,0 +1,184 @@
+#include "analysis/parallelizable.hpp"
+
+#include <set>
+
+#include "support/check.hpp"
+
+namespace dpart::analysis {
+
+namespace {
+
+// What a variable holds, for tracking which index variables are aliases of
+// the loop variable (centered) and which are derived (uncentered).
+enum class VarKind {
+  LoopVar,       // the loop variable or a transitive alias of it
+  DerivedIndex,  // from LoadIdx / ApplyFn / inner loop induction
+  RangeValue,    // from LoadRange
+  Scalar,        // from LoadF64 / Compute
+  Unknown,
+};
+
+struct RegionUsage {
+  bool uncenteredReduce = false;
+  bool uncenteredRead = false;
+  bool anyRead = false;
+  bool anyWrite = false;      // stores and reduces both count as writes
+  bool anyStore = false;
+  bool reduceOpSet = false;
+  ir::ReduceOp reduceOp{};
+  bool mixedReduceOps = false;
+};
+
+}  // namespace
+
+ParallelizableResult checkParallelizable(const region::World& world,
+                                         const ir::Loop& loop) {
+  ParallelizableResult result;
+  auto reject = [&](std::string why) {
+    result.ok = false;
+    result.reason = std::move(why);
+    return result;
+  };
+
+  if (!world.hasRegion(loop.iterRegion)) {
+    return reject("unknown iteration region '" + loop.iterRegion + "'");
+  }
+
+  std::map<std::string, VarKind> vars;
+  vars[loop.loopVar] = VarKind::LoopVar;
+    // Privileges are per (region, field), as in Legion region requirements.
+  std::map<std::string, RegionUsage> usage;
+
+  auto lookup = [&](const std::string& v) {
+    auto it = vars.find(v);
+    return it == vars.end() ? VarKind::Unknown : it->second;
+  };
+
+  // Walk statements in order (pre-order through inner loops), tracking the
+  // variable environment. The IR's shape guarantees most admissibility
+  // conditions; the rest are checked explicitly.
+  std::string failure;
+  const std::function<bool(const std::vector<ir::Stmt>&)> walk =
+      [&](const std::vector<ir::Stmt>& stmts) -> bool {
+    for (const ir::Stmt& s : stmts) {
+      switch (s.kind) {
+        case ir::StmtKind::LoadF64:
+        case ir::StmtKind::LoadIdx:
+        case ir::StmtKind::LoadRange: {
+          const VarKind k = lookup(s.idxVar);
+          if (k != VarKind::LoopVar && k != VarKind::DerivedIndex) {
+            failure = "index variable '" + s.idxVar + "' of " + s.toString() +
+                      " is not an index";
+            return false;
+          }
+          const bool centered = k == VarKind::LoopVar;
+          result.accesses.push_back(AccessInfo{&s, AccessMode::Read, centered});
+          RegionUsage& u = usage[s.region + "." + s.field];
+          u.anyRead = true;
+          if (!centered) u.uncenteredRead = true;
+          vars[s.var] = s.kind == ir::StmtKind::LoadIdx ? VarKind::DerivedIndex
+                        : s.kind == ir::StmtKind::LoadRange
+                            ? VarKind::RangeValue
+                            : VarKind::Scalar;
+          break;
+        }
+        case ir::StmtKind::StoreF64: {
+          const VarKind k = lookup(s.idxVar);
+          if (k != VarKind::LoopVar) {
+            failure = "write access " + s.toString() + " is not centered";
+            return false;
+          }
+          result.accesses.push_back(AccessInfo{&s, AccessMode::Write, true});
+          RegionUsage& u = usage[s.region + "." + s.field];
+          u.anyWrite = true;
+          u.anyStore = true;
+          break;
+        }
+        case ir::StmtKind::ReduceF64: {
+          const VarKind k = lookup(s.idxVar);
+          if (k != VarKind::LoopVar && k != VarKind::DerivedIndex) {
+            failure = "index variable '" + s.idxVar + "' of " + s.toString() +
+                      " is not an index";
+            return false;
+          }
+          const bool centered = k == VarKind::LoopVar;
+          result.accesses.push_back(
+              AccessInfo{&s, AccessMode::Reduce, centered});
+          RegionUsage& u = usage[s.region + "." + s.field];
+          u.anyWrite = true;
+          if (centered) {
+            // A centered reduction is a centered read followed by a centered
+            // write; record the read so conflicting uncentered reductions on
+            // the same region are rejected below.
+            u.anyRead = true;
+          } else {
+            u.uncenteredReduce = true;
+            if (u.reduceOpSet && u.reduceOp != s.op) u.mixedReduceOps = true;
+            u.reduceOpSet = true;
+            u.reduceOp = s.op;
+          }
+          break;
+        }
+        case ir::StmtKind::ApplyFn: {
+          const VarKind k = lookup(s.idxVar);
+          if (k != VarKind::LoopVar && k != VarKind::DerivedIndex) {
+            failure = "argument '" + s.idxVar + "' of " + s.toString() +
+                      " is not an index";
+            return false;
+          }
+          vars[s.var] = s.fn == region::kIdentityFnId && k == VarKind::LoopVar
+                            ? VarKind::LoopVar
+                            : VarKind::DerivedIndex;
+          break;
+        }
+        case ir::StmtKind::Alias: {
+          vars[s.var] = lookup(s.src);
+          break;
+        }
+        case ir::StmtKind::Compute: {
+          for (const std::string& a : s.args) {
+            if (lookup(a) != VarKind::Scalar) {
+              failure = "compute argument '" + a + "' is not a scalar in " +
+                        s.toString();
+              return false;
+            }
+          }
+          vars[s.var] = VarKind::Scalar;
+          break;
+        }
+        case ir::StmtKind::InnerLoop: {
+          if (lookup(s.rangeVar) != VarKind::RangeValue) {
+            failure = "inner loop range '" + s.rangeVar + "' is not a range";
+            return false;
+          }
+          vars[s.loopVar] = VarKind::DerivedIndex;
+          if (!walk(s.body)) return false;
+          break;
+        }
+      }
+    }
+    return true;
+  };
+
+  if (!walk(loop.body)) return reject(failure);
+
+  for (const auto& [fieldKey, u] : usage) {
+    if (u.uncenteredReduce && u.anyRead) {
+      return reject("field '" + fieldKey +
+                    "' has an uncentered reduction and a read access");
+    }
+    if (u.uncenteredReduce && u.mixedReduceOps) {
+      return reject("field '" + fieldKey +
+                    "' mixes reduction operators on uncentered reductions");
+    }
+    if (u.uncenteredRead && u.anyWrite) {
+      return reject("field '" + fieldKey +
+                    "' has an uncentered read and a write access");
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace dpart::analysis

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+
+namespace dpart::analysis {
+
+/// Access mode of one region-touching statement.
+enum class AccessMode { Read, Write, Reduce };
+
+/// Classification of one region access (Section 2's centered/uncentered
+/// distinction).
+struct AccessInfo {
+  const ir::Stmt* stmt = nullptr;
+  AccessMode mode{};
+  bool centered = false;  ///< index expression is the loop variable (alias)
+};
+
+/// Verdict of the syntactic parallelizability check.
+struct ParallelizableResult {
+  bool ok = false;
+  std::string reason;  ///< human-readable rejection reason when !ok
+
+  std::vector<AccessInfo> accesses;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Applies the paper's syntactic parallelizability conditions to a loop:
+///  - every write access is centered;
+///  - a region with an uncentered reduction has no other read access and no
+///    reduction with a different operator;
+///  - a region with an uncentered read has no write access;
+///  - uncentered accesses are derived from region loads or pure functions of
+///    the loop variable (structural in our IR, but index-variable origin is
+///    still validated).
+///
+/// The check is sound but incomplete, exactly as in the paper.
+ParallelizableResult checkParallelizable(const region::World& world,
+                                         const ir::Loop& loop);
+
+}  // namespace dpart::analysis

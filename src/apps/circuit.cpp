@@ -1,0 +1,201 @@
+#include "apps/circuit.hpp"
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dpart::apps {
+
+using region::FieldType;
+using region::Index;
+using region::IndexSet;
+using region::Partition;
+
+CircuitApp::CircuitApp(Params params)
+    : params_(params), world_(std::make_unique<region::World>()) {
+  const auto pieces = static_cast<Index>(params_.pieces);
+  const Index sharedPerCluster = std::max<Index>(
+      1, static_cast<Index>(static_cast<double>(params_.nodesPerCluster) *
+                            params_.sharedFraction));
+  const Index privPerCluster = params_.nodesPerCluster - sharedPerCluster;
+  sharedNodes_ = pieces * sharedPerCluster;
+  totalNodes_ = pieces * params_.nodesPerCluster;
+  const Index totalWires = pieces * params_.wiresPerCluster;
+
+  auto& rn = world_->addRegion("rn", totalNodes_);
+  auto& rw = world_->addRegion("rw", totalWires);
+  rn.addField("voltage", FieldType::F64);
+  rn.addField("charge", FieldType::F64);
+  rn.addField("cap", FieldType::F64);
+  rw.addField("in_ptr", FieldType::Idx);
+  rw.addField("out_ptr", FieldType::Idx);
+  rw.addField("cur", FieldType::F64);
+  world_->defineFieldFn("rw", "in_ptr", "rn");
+  world_->defineFieldFn("rw", "out_ptr", "rn");
+
+  // Layout (as in the paper's generator): the first `sharedNodes_` entries
+  // are the shared nodes, grouped by owning cluster; private nodes follow,
+  // cluster-contiguous. Cross-cluster wires connect through the shared
+  // nodes of the *neighboring* clusters (ring topology), giving the sparse
+  // cluster connectivity the generator is designed to simulate.
+  Rng rng(params_.seed);
+  auto voltage = rn.f64("voltage");
+  auto cap = rn.f64("cap");
+  for (Index n = 0; n < totalNodes_; ++n) {
+    voltage[static_cast<std::size_t>(n)] = rng.uniform() * 2 - 1;
+    cap[static_cast<std::size_t>(n)] = 1.0 + rng.uniform();
+  }
+  auto privBase = [&](Index cluster) {
+    return sharedNodes_ + cluster * privPerCluster;
+  };
+  auto sharedBase = [&](Index cluster) { return cluster * sharedPerCluster; };
+
+  auto in = rw.idx("in_ptr");
+  auto out = rw.idx("out_ptr");
+  for (Index c = 0; c < pieces; ++c) {
+    for (Index w = 0; w < params_.wiresPerCluster; ++w) {
+      const auto e = static_cast<std::size_t>(c * params_.wiresPerCluster + w);
+      const Index src = privBase(c) + rng.range(0, privPerCluster);
+      in[e] = src;
+      if (rng.chance(params_.crossFraction) && pieces > 1) {
+        // Cross wire: into a shared node of a neighboring cluster.
+        const Index nb = rng.chance(0.5) ? (c + 1) % pieces
+                                         : (c + pieces - 1) % pieces;
+        out[e] = sharedBase(nb) + rng.range(0, sharedPerCluster);
+      } else {
+        out[e] = privBase(c) + rng.range(0, privPerCluster);
+      }
+    }
+  }
+
+  // The generator's partitions (available as external constraints).
+  std::vector<IndexSet> privSubs, sharedSubs;
+  for (Index c = 0; c < pieces; ++c) {
+    privSubs.push_back(
+        IndexSet::interval(privBase(c), privBase(c) + privPerCluster));
+    sharedSubs.push_back(
+        IndexSet::interval(sharedBase(c), sharedBase(c) + sharedPerCluster));
+  }
+  pnPrivate_ = Partition("rn", std::move(privSubs));
+  pnShared_ = Partition("rn", std::move(sharedSubs));
+
+  // The three loops of the simulation step.
+  program_.name = "circuit";
+  {
+    ir::LoopBuilder b("calc_new_currents", "w", "rw");
+    b.loadIdx("n1", "rw", "in_ptr", "w");
+    b.loadIdx("n2", "rw", "out_ptr", "w");
+    b.loadF64("v1", "rn", "voltage", "n1");
+    b.loadF64("v2", "rn", "voltage", "n2");
+    b.compute("cur", {"v1", "v2"},
+              [](auto v) { return 0.5 * (v[0] - v[1]); });
+    b.store("rw", "cur", "w", "cur");
+    program_.loops.push_back(b.build());
+  }
+  {
+    ir::LoopBuilder b("distribute_charge", "w", "rw");
+    b.loadIdx("n1", "rw", "in_ptr", "w");
+    b.loadIdx("n2", "rw", "out_ptr", "w");
+    b.loadF64("cur", "rw", "cur", "w");
+    b.compute("dneg", {"cur"}, [](auto v) { return -1e-2 * v[0]; });
+    b.compute("dpos", {"cur"}, [](auto v) { return 1e-2 * v[0]; });
+    b.reduce("rn", "charge", "n1", "dneg");
+    b.reduce("rn", "charge", "n2", "dpos");
+    program_.loops.push_back(b.build());
+  }
+  {
+    ir::LoopBuilder b("update_voltages", "n", "rn");
+    b.loadF64("v", "rn", "voltage", "n");
+    b.loadF64("q", "rn", "charge", "n");
+    b.loadF64("cp", "rn", "cap", "n");
+    b.compute("nv", {"v", "q", "cp"},
+              [](auto v) { return v[0] + v[1] / v[2]; });
+    b.compute("zero", {}, [](auto) { return 0.0; });
+    b.store("rn", "voltage", "n", "nv");
+    b.store("rn", "charge", "n", "zero");
+    program_.loops.push_back(b.build());
+  }
+}
+
+SimSetup CircuitApp::autoSetup() {
+  SimSetup setup;
+  parallelize::AutoParallelizer ap(*world_);
+  setup.plan = ap.plan(program_);
+  setup.partitions = evaluatePlan(*world_, setup.plan, params_.pieces, {});
+  setup.owners["rw"] = setup.plan.loops[0].iterPartition;
+  setup.owners["rn"] = setup.plan.loops[2].iterPartition;  // equal(rn)!
+  return setup;
+}
+
+SimSetup CircuitApp::hintSetup() {
+  parallelize::AutoParallelizer ap(*world_);
+  constraint::System ext;
+  ext.declareSymbol("pn_private", "rn", /*fixed=*/true);
+  ext.declareSymbol("pn_shared", "rn", /*fixed=*/true);
+  auto u = dpl::unionOf(dpl::symbol("pn_private"), dpl::symbol("pn_shared"));
+  ext.addDisj(u);
+  ext.addComp(u, "rn");
+  ap.addExternalConstraint(ext);
+
+  SimSetup setup;
+  setup.plan = ap.plan(program_);
+  std::map<std::string, Partition> externals{{"pn_private", pnPrivate_},
+                                             {"pn_shared", pnShared_}};
+  setup.partitions =
+      evaluatePlan(*world_, setup.plan, params_.pieces, externals);
+  setup.owners["rw"] = setup.plan.loops[0].iterPartition;
+  setup.owners["rn"] = setup.plan.loops[2].iterPartition;  // pn_priv u pn_sh
+  return setup;
+}
+
+SimSetup CircuitApp::manualSetup() {
+  // The hand-optimized configuration: generator partitions everywhere, but
+  // reduction buffers cover the *entire* reachable shared subset (own plus
+  // both ring neighbors), not the tight actually-shared sets.
+  ManualPlanBuilder mb(program_);
+  mb.external("pn_private").external("pn_shared");
+  mb.define("pn", dpl::unionOf(dpl::symbol("pn_private"),
+                               dpl::symbol("pn_shared")));
+  mb.define("pw", dpl::equalOf("rw"));
+  mb.define("n_in", dpl::image(dpl::symbol("pw"), "rw[.].in_ptr", "rn"));
+  mb.define("n_out", dpl::image(dpl::symbol("pw"), "rw[.].out_ptr", "rn"));
+
+  mb.assign(0, "pw", {"pw", "pw", "n_in", "n_out", "pw"});
+  mb.assign(1, "pw", {"pw", "pw", "pw", "n_in", "n_out"});
+  mb.assign(2, "pn", {"pn", "pn", "pn", "pn", "pn"});
+
+  optimize::ReducePlan rp;
+  rp.strategy = optimize::ReduceStrategy::PrivateSplit;
+  rp.privatePart = "pn_private";
+  rp.sharedPart = "manual_shared_block";
+  mb.reduce(1, "rn", rp, 0);
+  optimize::ReducePlan rp2 = rp;
+  mb.reduce(1, "rn", rp2, 1);
+
+  SimSetup setup;
+  setup.plan = mb.build();
+
+  // Each piece's buffer block: shared nodes of itself and both neighbors.
+  const auto pieces = static_cast<Index>(params_.pieces);
+  const Index perCluster = sharedNodes_ / pieces;
+  std::vector<IndexSet> blocks;
+  for (Index c = 0; c < pieces; ++c) {
+    IndexSet b = IndexSet::interval(c * perCluster, (c + 1) * perCluster);
+    const Index up = (c + 1) % pieces;
+    const Index dn = (c + pieces - 1) % pieces;
+    b = b.unionWith(IndexSet::interval(up * perCluster, (up + 1) * perCluster));
+    b = b.unionWith(IndexSet::interval(dn * perCluster, (dn + 1) * perCluster));
+    blocks.push_back(std::move(b));
+  }
+  std::map<std::string, Partition> externals{
+      {"pn_private", pnPrivate_},
+      {"pn_shared", pnShared_},
+      {"manual_shared_block", Partition("rn", std::move(blocks))}};
+  setup.plan.externalSymbols.insert("manual_shared_block");
+  setup.partitions =
+      evaluatePlan(*world_, setup.plan, params_.pieces, externals);
+  setup.owners["rw"] = "pw";
+  setup.owners["rn"] = "pn";
+  return setup;
+}
+
+}  // namespace dpart::apps

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+
+#include "apps/app_common.hpp"
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+
+namespace dpart::apps {
+
+/// Circuit (Section 6.4 / Figure 14d): electric-current simulation on an
+/// unstructured clustered circuit graph.
+///
+/// The generator replicates the paper's structure: circuit nodes form one
+/// cluster per piece; the first ~1% of entries in the node region are the
+/// "shared" nodes that cross-cluster wires connect through (at most 20% of
+/// wires leave their cluster). Three parallelizable loops per time step:
+/// calculate_new_currents (uncentered reads of node voltage), distribute_
+/// charge (uncentered reductions into node charge), update_voltages
+/// (centered).
+///
+/// Variants:
+///  - Auto: no hints. equal(rn) puts every shared node into subregion 0 —
+///    the communication bottleneck the paper reports past 8 nodes.
+///  - Auto+Hint: the external constraint DISJ(pn_private u pn_shared) ^
+///    COMP(pn_private u pn_shared, rn) describing the generator's
+///    partitions; the solver reuses them, and private sub-partitions keep
+///    reduction buffers tight.
+///  - Manual: the hand-optimized plan, which buffers reductions over the
+///    *entire* shared-node block (the paper's explanation for Auto+Hint
+///    beating Manual up to 64 nodes).
+class CircuitApp {
+ public:
+  struct Params {
+    std::size_t pieces = 4;           ///< clusters == pieces == nodes
+    region::Index nodesPerCluster = 1024;
+    region::Index wiresPerCluster = 4096;
+    double sharedFraction = 0.01;     ///< of all nodes, listed first
+    double crossFraction = 0.2;       ///< wires connecting via shared nodes
+    std::uint64_t seed = 42;
+  };
+
+  explicit CircuitApp(Params params);
+
+  [[nodiscard]] region::World& world() { return *world_; }
+  [[nodiscard]] const ir::Program& program() const { return program_; }
+  [[nodiscard]] region::Index sharedNodes() const { return sharedNodes_; }
+  [[nodiscard]] region::Index totalNodes() const { return totalNodes_; }
+
+  [[nodiscard]] SimSetup autoSetup();
+  [[nodiscard]] SimSetup hintSetup();
+  [[nodiscard]] SimSetup manualSetup();
+
+  /// The generator's partitions (bound as externals for Hint/Manual).
+  [[nodiscard]] const region::Partition& pnPrivate() const {
+    return pnPrivate_;
+  }
+  [[nodiscard]] const region::Partition& pnShared() const { return pnShared_; }
+
+  [[nodiscard]] double workPerPiece() const {
+    return static_cast<double>(params_.wiresPerCluster);
+  }
+
+ private:
+  Params params_;
+  std::unique_ptr<region::World> world_;
+  ir::Program program_;
+  region::Index sharedNodes_ = 0;
+  region::Index totalNodes_ = 0;
+  region::Partition pnPrivate_;
+  region::Partition pnShared_;
+};
+
+}  // namespace dpart::apps

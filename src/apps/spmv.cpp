@@ -1,0 +1,92 @@
+#include "apps/spmv.hpp"
+
+#include "region/dpl_ops.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart::apps {
+
+using region::FieldType;
+using region::Index;
+using region::Run;
+
+SpmvApp::SpmvApp(Params params)
+    : params_(params), world_(std::make_unique<region::World>()) {
+  const Index n = rows();
+  const Index nnz = n * params_.nnzPerRow;
+  auto& y = world_->addRegion("Y", n);
+  auto& ranges = world_->addRegion("Ranges", n);
+  auto& mat = world_->addRegion("Mat", nnz);
+  auto& x = world_->addRegion("X", n);
+  y.addField("val", FieldType::F64);
+  ranges.addField("span", FieldType::Range);
+  mat.addField("val", FieldType::F64);
+  mat.addField("ind", FieldType::Idx);
+  x.addField("val", FieldType::F64);
+  world_->defineRangeFn("Ranges", "span", "Mat");
+  world_->defineFieldFn("Mat", "ind", "X");
+
+  // Banded diagonal matrix: row r holds nnzPerRow entries centered on the
+  // diagonal; every row has exactly the same count (the paper's balanced
+  // synthetic matrix).
+  auto span = ranges.range("span");
+  auto mval = mat.f64("val");
+  auto mind = mat.idx("ind");
+  auto xval = x.f64("val");
+  const Index half = params_.nnzPerRow / 2;
+  for (Index r = 0; r < n; ++r) {
+    span[static_cast<std::size_t>(r)] =
+        Run{r * params_.nnzPerRow, (r + 1) * params_.nnzPerRow};
+    xval[static_cast<std::size_t>(r)] = 1.0 + double(r % 17) * 0.25;
+    for (Index k = 0; k < params_.nnzPerRow; ++k) {
+      const auto e = static_cast<std::size_t>(r * params_.nnzPerRow + k);
+      Index col = r - half + k;
+      if (col < 0) col += n;
+      if (col >= n) col -= n;
+      mval[e] = 1.0 / double(1 + k);
+      mind[e] = col;
+    }
+  }
+
+  // Figure 10a.
+  program_.name = "spmv";
+  ir::LoopBuilder b("spmv", "i", "Y");
+  b.loadRange("rg", "Ranges", "span", "i");
+  b.beginInner("k", "rg");
+  b.loadF64("a", "Mat", "val", "k");
+  b.loadIdx("col", "Mat", "ind", "k");
+  b.loadF64("xv", "X", "val", "col");
+  b.compute("prod", {"a", "xv"}, [](auto v) { return v[0] * v[1]; });
+  b.reduce("Y", "val", "i", "prod");
+  b.endInner();
+  program_.loops.push_back(b.build());
+}
+
+SimSetup SpmvApp::autoSetup() {
+  SimSetup setup;
+  parallelize::AutoParallelizer ap(*world_);
+  setup.plan = ap.plan(program_);
+  setup.partitions =
+      evaluatePlan(*world_, setup.plan, params_.pieces, {});
+
+  // Data placement: the synthesized partitions of Y/Ranges/Mat are disjoint
+  // and aligned; X is placed by an equal partition (the vector has no
+  // disjoint partition in the plan).
+  const parallelize::PlannedLoop& loop = setup.plan.loops[0];
+  setup.owners["Y"] = loop.iterPartition;
+  for (const auto& [stmtId, sym] : loop.accessPartition) {
+    const ir::Stmt* stmt = nullptr;
+    loop.loop->forEachStmt([&](const ir::Stmt& s) {
+      if (s.id == stmtId) stmt = &s;
+    });
+    if (stmt->region == "Ranges" || stmt->region == "Mat") {
+      setup.owners[stmt->region] = sym;
+    }
+  }
+  setup.partitions.emplace(
+      "pX_owner", region::equalPartition(*world_, "X", params_.pieces));
+  setup.owners["X"] = "pX_owner";
+  return setup;
+}
+
+}  // namespace dpart::apps

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <memory>
+
+#include "apps/app_common.hpp"
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+
+namespace dpart::apps {
+
+/// The SpMV microbenchmark of Sections 4 and 6.1 (Figure 10 / Figure 14a):
+/// CSR sparse matrix-vector product over a banded diagonal matrix with a
+/// fixed number of non-zeros per row — the balanced synthetic matrix the
+/// paper evaluates weak scaling with.
+class SpmvApp {
+ public:
+  struct Params {
+    region::Index rowsPerPiece = 4096;
+    region::Index nnzPerRow = 5;
+    std::size_t pieces = 4;
+  };
+
+  explicit SpmvApp(Params params);
+
+  [[nodiscard]] region::World& world() { return *world_; }
+  [[nodiscard]] const ir::Program& program() const { return program_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] region::Index rows() const {
+    return params_.rowsPerPiece * static_cast<region::Index>(params_.pieces);
+  }
+
+  /// Auto-parallelizes and evaluates partitions; sets data owners for the
+  /// simulator (Y/Ranges/Mat owned by the synthesized disjoint partitions,
+  /// X by an equal placement partition).
+  [[nodiscard]] SimSetup autoSetup();
+
+  /// Work units per piece (non-zeros per node) for throughput reporting.
+  [[nodiscard]] double workPerPiece() const {
+    return static_cast<double>(params_.rowsPerPiece * params_.nnzPerRow);
+  }
+
+ private:
+  Params params_;
+  std::unique_ptr<region::World> world_;
+  ir::Program program_;
+};
+
+}  // namespace dpart::apps

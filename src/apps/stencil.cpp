@@ -1,0 +1,117 @@
+#include "apps/stencil.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dpart::apps {
+
+using region::FieldType;
+using region::Index;
+
+StencilApp::StencilApp(Params params)
+    : params_(params), world_(std::make_unique<region::World>()) {
+  const Index R = rows();
+  const Index C = params_.cols;
+  auto& grid = world_->addRegion("Grid", R * C);
+  grid.addField("in", FieldType::F64);
+  grid.addField("out", FieldType::F64);
+  auto in = grid.f64("in");
+  for (Index i = 0; i < R * C; ++i) {
+    in[static_cast<std::size_t>(i)] = double((i / C) + (i % C));
+  }
+
+  // Clamped affine neighbor maps on the row-major linearization. X offsets
+  // stay within the row; Y offsets stay within the grid.
+  auto defXShift = [&](const std::string& id, Index d) {
+    world_->defineAffineFn(id, "Grid", "Grid", [C, d](Index i) {
+      const Index c = i % C;
+      const Index nc = std::clamp<Index>(c + d, 0, C - 1);
+      return i - c + nc;
+    });
+  };
+  auto defYShift = [&](const std::string& id, Index d) {
+    world_->defineAffineFn(id, "Grid", "Grid", [R, C, d](Index i) {
+      const Index r = i / C;
+      const Index nr = std::clamp<Index>(r + d, 0, R - 1);
+      return nr * C + (i % C);
+    });
+  };
+  defXShift("xp1", 1);
+  defXShift("xp2", 2);
+  defXShift("xm1", -1);
+  defXShift("xm2", -2);
+  defYShift("yp1", 1);
+  defYShift("yp2", 2);
+  defYShift("ym1", -1);
+  defYShift("ym2", -2);
+
+  program_.name = "stencil";
+  {
+    ir::LoopBuilder b("apply_stencil", "i", "Grid");
+    b.loadF64("c0", "Grid", "in", "i");
+    const char* fns[8] = {"xp1", "xp2", "xm1", "xm2",
+                          "yp1", "yp2", "ym1", "ym2"};
+    std::vector<std::string> args{"c0"};
+    for (int k = 0; k < 8; ++k) {
+      const std::string j = std::string("j") + std::to_string(k);
+      const std::string v = std::string("v") + std::to_string(k);
+      b.apply(j, fns[k], "i");
+      b.loadF64(v, "Grid", "in", j);
+      args.push_back(v);
+    }
+    b.compute("res", args, [](auto v) {
+      // PRK "star" weights: w(d) = 1 / (2 * d * radius) with radius 2.
+      const double w1 = 1.0 / 4.0;
+      const double w2 = 1.0 / 8.0;
+      return v[0] + w1 * (v[1] + v[3] + v[5] + v[7]) +
+             w2 * (v[2] + v[4] + v[6] + v[8]);
+    });
+    b.store("Grid", "out", "i", "res");
+    program_.loops.push_back(b.build());
+  }
+  {
+    ir::LoopBuilder b("add_back", "i", "Grid");
+    b.loadF64("o", "Grid", "out", "i");
+    b.compute("d", {"o"}, [](auto v) { return 1e-4 * v[0]; });
+    b.reduce("Grid", "in", "i", "d");
+    program_.loops.push_back(b.build());
+  }
+}
+
+SimSetup StencilApp::autoSetup() {
+  SimSetup setup;
+  parallelize::AutoParallelizer ap(*world_);
+  setup.plan = ap.plan(program_);
+  setup.partitions = evaluatePlan(*world_, setup.plan, params_.pieces, {});
+  // The grid is placed by the (equal) iteration partition.
+  setup.owners["Grid"] = setup.plan.loops[1].iterPartition;
+  return setup;
+}
+
+SimSetup StencilApp::manualSetup() {
+  // Hand-optimized plan: equal partition everywhere, with the two image
+  // partitions per Y direction consolidated into one halo partition so each
+  // direction needs a single transfer.
+  ManualPlanBuilder mb(program_);
+  mb.define("P", dpl::equalOf("Grid"));
+  mb.define("halo_up",
+            dpl::unionOf(dpl::image(dpl::symbol("P"), "ym1", "Grid"),
+                         dpl::image(dpl::symbol("P"), "ym2", "Grid")));
+  mb.define("halo_dn",
+            dpl::unionOf(dpl::image(dpl::symbol("P"), "yp1", "Grid"),
+                         dpl::image(dpl::symbol("P"), "yp2", "Grid")));
+  // apply_stencil accesses: center, then xp1,xp2,xm1,xm2 (within-row: P),
+  // then yp1,yp2 (halo_dn), ym1,ym2 (halo_up), then the store.
+  mb.assign(0, "P",
+            {"P", "P", "P", "P", "P", "halo_dn", "halo_dn", "halo_up",
+             "halo_up", "P"});
+  mb.assign(1, "P", {"P", "P"});
+  SimSetup setup;
+  setup.plan = mb.build();
+  setup.partitions = evaluatePlan(*world_, setup.plan, params_.pieces, {});
+  setup.owners["Grid"] = "P";
+  return setup;
+}
+
+}  // namespace dpart::apps

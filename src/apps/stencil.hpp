@@ -1,0 +1,50 @@
+#pragma once
+
+#include <memory>
+
+#include "apps/app_common.hpp"
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+
+namespace dpart::apps {
+
+/// Stencil (Section 6.2 / Figure 14b): a 9-point stencil on a 2D grid —
+/// center plus two neighbors in each of the four directions, from the
+/// Parallel Research Kernels. The grid is stored row-major in one region
+/// with `in`/`out` fields; the main iteration is two parallelizable loops
+/// (apply stencil, then add back).
+///
+/// The hand-optimized baseline consolidates the halo: both row-neighbor
+/// image partitions per direction are replaced by one union "halo"
+/// partition, halving the number of inter-node transfers per direction —
+/// the optimization the paper credits for Manual's ~3% edge.
+class StencilApp {
+ public:
+  struct Params {
+    region::Index rowsPerPiece = 64;
+    region::Index cols = 64;
+    std::size_t pieces = 4;
+  };
+
+  explicit StencilApp(Params params);
+
+  [[nodiscard]] region::World& world() { return *world_; }
+  [[nodiscard]] const ir::Program& program() const { return program_; }
+  [[nodiscard]] region::Index rows() const {
+    return params_.rowsPerPiece * static_cast<region::Index>(params_.pieces);
+  }
+
+  [[nodiscard]] SimSetup autoSetup();
+  [[nodiscard]] SimSetup manualSetup();
+
+  [[nodiscard]] double workPerPiece() const {
+    return static_cast<double>(params_.rowsPerPiece * params_.cols);
+  }
+
+ private:
+  Params params_;
+  std::unique_ptr<region::World> world_;
+  ir::Program program_;
+};
+
+}  // namespace dpart::apps

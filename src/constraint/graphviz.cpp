@@ -1,0 +1,59 @@
+#include "constraint/graphviz.hpp"
+
+#include <sstream>
+
+#include "constraint/unify.hpp"
+
+namespace dpart::constraint {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string toGraphviz(const System& system, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(name) << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  for (const std::string& sym : system.symbols()) {
+    os << "  \"" << escape(sym) << "\" [";
+    os << "label=\"" << escape(sym) << "\\n" << escape(system.regionOf(sym))
+       << '"';
+    if (system.isFixed(sym)) os << ", shape=box";
+    if (system.requiresComp(sym)) os << ", style=filled, fillcolor=gray85";
+    if (system.requiresDisj(sym)) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const GraphEdge& e : constraintGraph(system)) {
+    os << "  \"" << escape(e.from) << "\" -> \"" << escape(e.to) << '"';
+    if (!e.label.empty()) os << " [label=\"" << escape(e.label) << "\"]";
+    os << ";\n";
+  }
+  // Any subset constraint that is not one of the two graph-edge forms is
+  // still shown, as a dashed annotation.
+  int annot = 0;
+  for (const Subset& sc : system.subsets()) {
+    const bool plain = sc.lhs->kind == dpl::ExprKind::Symbol &&
+                       sc.rhs->kind == dpl::ExprKind::Symbol;
+    const bool image = sc.lhs->kind == dpl::ExprKind::Image &&
+                       sc.lhs->arg->kind == dpl::ExprKind::Symbol &&
+                       sc.rhs->kind == dpl::ExprKind::Symbol;
+    if (plain || image) continue;
+    const std::string id = "annot" + std::to_string(annot++);
+    os << "  \"" << id << "\" [shape=note, style=dashed, label=\""
+       << escape(sc.toString()) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dpart::constraint

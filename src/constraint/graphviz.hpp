@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "constraint/system.hpp"
+
+namespace dpart::constraint {
+
+/// Renders a constraint system as a Graphviz digraph in the style of the
+/// paper's Figures 1c and 9: one node per partition symbol (shaded when a
+/// COMP predicate requires completeness, double-circled when DISJ requires
+/// disjointness, box-shaped for fixed/external partitions), an unlabeled
+/// edge for P1 <= P2, and an f-labeled edge for image(P1, f, R) <= P2.
+/// Subset constraints of other shapes are rendered as dashed annotation
+/// nodes so nothing in the system is hidden.
+std::string toGraphviz(const System& system, const std::string& name = "C");
+
+}  // namespace dpart::constraint

@@ -1,0 +1,183 @@
+#include "constraint/solver.hpp"
+
+#include <algorithm>
+
+#include "constraint/entail.hpp"
+#include "support/check.hpp"
+
+namespace dpart::constraint {
+
+using dpl::ExprKind;
+using dpl::ExprPtr;
+
+dpl::Program Solution::program() const {
+  dpl::Program prog;
+  for (const std::string& sym : order) {
+    prog.append(sym, assignments.at(sym));
+  }
+  return prog.withCse();
+}
+
+Solver::Solver(System system, std::set<std::string> rangeFns)
+    : system_(std::move(system)), rangeFns_(std::move(rangeFns)) {}
+
+Solution Solver::solve(const std::map<std::string, ExprPtr>& initial) {
+  steps_ = 0;
+  Solution out;
+  std::vector<std::string> order;
+  if (!solveRec(initial, order, out)) {
+    out.ok = false;
+    if (out.failure.empty()) out.failure = "no resolution found";
+  }
+  return out;
+}
+
+std::vector<ExprPtr> Solver::externalCandidates(const System& c,
+                                                const std::string& region,
+                                                bool needDisj,
+                                                bool needComp) const {
+  // Closed expressions the user asserted predicates about (Section 3.3),
+  // plus bare fixed symbols of the right region. Filter by provability of
+  // the needed predicates.
+  std::vector<ExprPtr> raw;
+  std::set<std::string> seen;
+  const std::set<std::string> open = c.openSymbols();
+  auto consider = [&](const ExprPtr& e) {
+    if (!e->closedUnder(open)) return;
+    if (!seen.insert(e->toString()).second) return;
+    raw.push_back(e);
+  };
+  for (const Pred& p : c.preds()) {
+    if (!p.assumed) continue;
+    consider(p.expr);
+  }
+  for (const std::string& sym : c.symbols()) {
+    if (c.isFixed(sym) && c.regionOf(sym) == region) {
+      consider(dpl::symbol(sym));
+    }
+  }
+  Entailment ent(c, rangeFns_);
+  std::vector<ExprPtr> out;
+  for (const ExprPtr& e : raw) {
+    if (!ent.provePart(e, region)) continue;
+    if (needDisj && !ent.proveDisj(e)) continue;
+    if (needComp && !ent.proveComp(e, region)) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Solver::Candidate> Solver::candidates(const System& c) const {
+  std::vector<Candidate> cands;
+  const std::set<std::string> open = c.openSymbols();
+
+  // Rule 1 (Algorithm 2 lines 11-15): image(P, f, R) <= E with closed E and
+  // open P: candidate P = preimage(R', f, E). Point-valued fns only — L14
+  // does not hold for the generalized IMAGE.
+  for (const Subset& sc : c.subsets()) {
+    if (sc.lhs->kind != ExprKind::Image) continue;
+    if (sc.lhs->arg->kind != ExprKind::Symbol) continue;
+    const std::string& p = sc.lhs->arg->name;
+    if (!open.contains(p)) continue;
+    if (rangeFns_.contains(sc.lhs->fn)) continue;
+    if (!sc.rhs->closedUnder(open)) continue;
+    cands.push_back(Candidate{
+        p, dpl::preimage(c.regionOf(p), sc.lhs->fn, sc.rhs)});
+  }
+
+  // Rule 2 (lines 16-18): P whose lower bounds are all closed: candidate
+  // P = union of the bounds (L13).
+  for (const std::string& p : open) {
+    std::vector<ExprPtr> bounds;
+    bool allClosed = true;
+    for (const Subset& sc : c.subsets()) {
+      if (sc.rhs->kind != ExprKind::Symbol || sc.rhs->name != p) continue;
+      if (!sc.lhs->closedUnder(open)) {
+        allClosed = false;
+        break;
+      }
+      bounds.push_back(sc.lhs);
+    }
+    if (!allClosed || bounds.empty()) continue;
+    cands.push_back(Candidate{p, dpl::unionOf(bounds)});
+  }
+
+  // Rule 3 (lines 19-27): DISJ symbols then COMP symbols, deepest first.
+  // Externally provided partitions are preferred over fresh equal(R)
+  // (partition reuse, Section 3.3).
+  std::vector<std::pair<int, std::string>> byDepth;
+  for (const std::string& p : open) byDepth.emplace_back(c.depth(p), p);
+  std::sort(byDepth.begin(), byDepth.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  auto addRule3 = [&](bool wantDisj) {
+    for (const auto& [depth, p] : byDepth) {
+      const bool needDisj = c.requiresDisj(p);
+      const bool needComp = c.requiresComp(p);
+      if (wantDisj ? !needDisj : (!needComp || needDisj)) continue;
+      const std::string& region = c.regionOf(p);
+      for (const ExprPtr& e : externalCandidates(c, region, needDisj,
+                                                 needComp)) {
+        cands.push_back(Candidate{p, e});
+      }
+      cands.push_back(Candidate{p, dpl::equalOf(region)});
+    }
+  };
+  addRule3(/*wantDisj=*/true);
+  addRule3(/*wantDisj=*/false);
+
+  // Fallback: any remaining symbol (no bounds, no predicates) gets equal(R);
+  // keeps the solver total on degenerate inputs.
+  for (const std::string& p : open) {
+    cands.push_back(Candidate{p, dpl::equalOf(c.regionOf(p))});
+  }
+  return cands;
+}
+
+bool Solver::solveRec(const std::map<std::string, ExprPtr>& partial,
+                      std::vector<std::string>& order, Solution& out) {
+  if (++steps_ > maxSteps_) {
+    out.failure = "search budget exhausted";
+    return false;
+  }
+  const System c = system_.substituted(partial);
+  const std::set<std::string> open = c.openSymbols();
+  if (open.empty()) {
+    const std::string bad = checkResolved(c, rangeFns_);
+    if (!bad.empty()) {
+      if (out.failure.empty()) out.failure = "unprovable conjunct: " + bad;
+      return false;
+    }
+    out.ok = true;
+    out.assignments = partial;
+    out.order = order;
+    out.resolved = c;
+    return true;
+  }
+
+  std::set<std::string> tried;  // avoid retrying identical equalities
+  for (const Candidate& cand : candidates(c)) {
+    if (!tried.insert(cand.symbol + " = " + cand.expr->toString()).second) {
+      continue;
+    }
+    std::map<std::string, ExprPtr> next = partial;
+    next[cand.symbol] = cand.expr;
+    // Ground the new equality against earlier assignments so every value
+    // stays fully substituted.
+    for (auto& [sym, expr] : next) {
+      expr = dpl::substitute(expr, next);
+    }
+    order.push_back(cand.symbol);
+    if (solveRec(next, order, out)) return true;
+    order.pop_back();
+    if (steps_ > maxSteps_) return false;
+  }
+  if (out.failure.empty()) {
+    out.failure = "no candidate resolves symbol set";
+  }
+  return false;
+}
+
+}  // namespace dpart::constraint

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "constraint/system.hpp"
+#include "dpl/program.hpp"
+
+namespace dpart::constraint {
+
+/// Result of constraint resolution.
+struct Solution {
+  bool ok = false;
+  std::string failure;  ///< first unprovable conjunct / search exhaustion
+
+  /// Ground expression synthesized for each open symbol (references only
+  /// DPL operators and fixed external symbols).
+  std::map<std::string, ExprPtr> assignments;
+  /// Assignment order (respects derivation dependencies).
+  std::vector<std::string> order;
+  /// The fully substituted, verified system (diagnostics / tests).
+  System resolved;
+
+  /// Emits the solution as a DPL program with subexpression CSE, so derived
+  /// partitions reference earlier ones (paper Fig. 2b / Fig. 10b shapes).
+  [[nodiscard]] dpl::Program program() const;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Algorithm 2: resolves a partitioning constraint system into one equality
+/// per open partition symbol, backtracking over candidate expressions and
+/// validating leaves with the lemma engine.
+///
+/// Candidate preference implements the paper's heuristics:
+///  1. preimage for image-subsets with closed RHS (disjointness flows
+///     right-to-left; lemmas L12/L14),
+///  2. union of closed lower bounds (L13),
+///  3. for DISJ/COMP symbols in descending subset-depth order: externally
+///     provided partitions first (partition reuse, Section 3.3), then
+///     equal(R) (L1).
+class Solver {
+ public:
+  /// `rangeFns` lists range-valued fn ids (Section 4 lemma exclusions).
+  Solver(System system, std::set<std::string> rangeFns);
+
+  /// Solves, optionally starting from initial equalities (used both for
+  /// external fixes and for unification consistency checks, where values may
+  /// be other symbols of the system).
+  [[nodiscard]] Solution solve(
+      const std::map<std::string, ExprPtr>& initial = {});
+
+  /// Search budget (backtracking steps); generous default, never hit by the
+  /// paper's benchmarks.
+  void setMaxSteps(std::size_t n) { maxSteps_ = n; }
+
+ private:
+  struct Candidate {
+    std::string symbol;
+    ExprPtr expr;
+  };
+
+  bool solveRec(const std::map<std::string, ExprPtr>& partial,
+                std::vector<std::string>& order, Solution& out);
+  [[nodiscard]] std::vector<Candidate> candidates(const System& c) const;
+  [[nodiscard]] std::vector<ExprPtr> externalCandidates(
+      const System& c, const std::string& region, bool needDisj,
+      bool needComp) const;
+
+  System system_;
+  std::set<std::string> rangeFns_;
+  std::size_t maxSteps_ = 200000;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace dpart::constraint

@@ -1,0 +1,49 @@
+#include "dpl/evaluator.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart::dpl {
+
+using region::Partition;
+
+void Evaluator::bind(const std::string& name, Partition partition) {
+  env_.insert_or_assign(name, std::move(partition));
+}
+
+const Partition& Evaluator::partition(const std::string& name) const {
+  auto it = env_.find(name);
+  DPART_CHECK(it != env_.end(), "unbound partition symbol '" + name + "'");
+  return it->second;
+}
+
+Partition Evaluator::eval(const ExprPtr& expr) const {
+  switch (expr->kind) {
+    case ExprKind::Symbol:
+      return partition(expr->name);
+    case ExprKind::Union:
+      return region::unionPartitions(eval(expr->lhs), eval(expr->rhs));
+    case ExprKind::Intersect:
+      return region::intersectPartitions(eval(expr->lhs), eval(expr->rhs));
+    case ExprKind::Subtract:
+      return region::subtractPartitions(eval(expr->lhs), eval(expr->rhs));
+    case ExprKind::Image:
+      return region::imagePartition(world_, eval(expr->arg), expr->fn,
+                                    expr->region);
+    case ExprKind::Preimage:
+      return region::preimagePartition(world_, expr->region, expr->fn,
+                                       eval(expr->arg));
+    case ExprKind::Equal:
+      return region::equalPartition(world_, expr->region, pieces_);
+  }
+  DPART_UNREACHABLE("bad ExprKind");
+}
+
+const std::map<std::string, Partition>& Evaluator::run(
+    const Program& program) {
+  for (const Stmt& s : program.stmts()) {
+    bind(s.lhs, eval(s.rhs));
+  }
+  return env_;
+}
+
+}  // namespace dpart::dpl

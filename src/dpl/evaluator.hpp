@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dpl/program.hpp"
+#include "region/dpl_ops.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::dpl {
+
+/// Executes DPL programs against a World, producing concrete Partitions.
+///
+/// External partitions (the user-provided ones of Section 3.3) are bound
+/// before running; `equal(R)` nodes — whose piece counts are elided in the
+/// constraint language — are instantiated with the evaluator's piece count,
+/// which corresponds to the number of parallel tasks / nodes.
+class Evaluator {
+ public:
+  Evaluator(const region::World& world, std::size_t pieces)
+      : world_(world), pieces_(pieces) {}
+
+  /// Binds a symbol to an externally constructed partition.
+  void bind(const std::string& name, region::Partition partition);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return env_.contains(name);
+  }
+  [[nodiscard]] const region::Partition& partition(
+      const std::string& name) const;
+
+  /// Evaluates one expression in the current environment.
+  [[nodiscard]] region::Partition eval(const ExprPtr& expr) const;
+
+  /// Runs a whole program, binding each statement's result; returns the
+  /// environment (externals + all defined partitions).
+  const std::map<std::string, region::Partition>& run(const Program& program);
+
+  [[nodiscard]] const std::map<std::string, region::Partition>& env() const {
+    return env_;
+  }
+
+  [[nodiscard]] std::size_t pieces() const { return pieces_; }
+
+ private:
+  const region::World& world_;
+  std::size_t pieces_;
+  std::map<std::string, region::Partition> env_;
+};
+
+}  // namespace dpart::dpl

@@ -1,0 +1,196 @@
+#include "dpl/parser.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dpart::dpl {
+
+namespace {
+
+enum class Tok { Ident, LParen, RParen, Comma, Equals, OpUnion, OpIntersect,
+                 OpSubtract, End };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("DPL parse error at offset " + std::to_string(current_.pos) +
+                ": " + what + " (got '" + current_.text + "')");
+  }
+
+ private:
+  static bool identChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '[' || c == ']' || c == '.';
+  }
+
+  void advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    current_.pos = pos_;
+    if (pos_ >= text_.size()) {
+      current_ = Token{Tok::End, "<end>", pos_};
+      return;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '(':
+        current_ = Token{Tok::LParen, "(", pos_++};
+        return;
+      case ')':
+        current_ = Token{Tok::RParen, ")", pos_++};
+        return;
+      case ',':
+        current_ = Token{Tok::Comma, ",", pos_++};
+        return;
+      case '=':
+        current_ = Token{Tok::Equals, "=", pos_++};
+        return;
+      default:
+        break;
+    }
+    // '-' is always the subtract operator: identifiers never contain it.
+    if (c == '-') {
+      current_ = Token{Tok::OpSubtract, "-", pos_++};
+      return;
+    }
+    DPART_CHECK(identChar(c), "unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(pos_));
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && identChar(text_[pos_])) ++pos_;
+    std::string word = text_.substr(start, pos_ - start);
+    // Single letters u/n are the set operators when they stand alone —
+    // the printer always emits them between spaces inside parens, so a
+    // standalone one-letter u/n can only be an operator.
+    if (word == "u") {
+      current_ = Token{Tok::OpUnion, word, start};
+    } else if (word == "n") {
+      current_ = Token{Tok::OpIntersect, word, start};
+    } else {
+      current_ = Token{Tok::Ident, std::move(word), start};
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  Token current_{Tok::End, "", 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  ExprPtr expr() {
+    if (lex_.peek().kind == Tok::LParen) {
+      lex_.take();
+      ExprPtr lhs = expr();
+      const Token op = lex_.take();
+      ExprPtr rhs = expr();
+      expect(Tok::RParen, ")");
+      switch (op.kind) {
+        case Tok::OpUnion:
+          return unionOf(std::move(lhs), std::move(rhs));
+        case Tok::OpIntersect:
+          return intersectOf(std::move(lhs), std::move(rhs));
+        case Tok::OpSubtract:
+          return subtractOf(std::move(lhs), std::move(rhs));
+        default:
+          lex_.fail("expected a set operator (u, n, -)");
+      }
+    }
+    const Token head = lex_.take();
+    if (head.kind != Tok::Ident) lex_.fail("expected an expression");
+    if (head.text == "equal" && lex_.peek().kind == Tok::LParen) {
+      lex_.take();
+      const std::string region = ident("region name");
+      expect(Tok::RParen, ")");
+      return equalOf(region);
+    }
+    if (head.text == "image" && lex_.peek().kind == Tok::LParen) {
+      lex_.take();
+      ExprPtr arg = expr();
+      expect(Tok::Comma, ",");
+      const std::string fn = ident("function id");
+      expect(Tok::Comma, ",");
+      const std::string region = ident("region name");
+      expect(Tok::RParen, ")");
+      return image(std::move(arg), fn, region);
+    }
+    if (head.text == "preimage" && lex_.peek().kind == Tok::LParen) {
+      lex_.take();
+      const std::string region = ident("region name");
+      expect(Tok::Comma, ",");
+      const std::string fn = ident("function id");
+      expect(Tok::Comma, ",");
+      ExprPtr arg = expr();
+      expect(Tok::RParen, ")");
+      return preimage(region, fn, std::move(arg));
+    }
+    return symbol(head.text);
+  }
+
+  Program program() {
+    Program prog;
+    while (lex_.peek().kind != Tok::End) {
+      const std::string lhs = ident("statement target");
+      expect(Tok::Equals, "=");
+      prog.append(lhs, expr());
+    }
+    return prog;
+  }
+
+  void expectEnd() {
+    if (lex_.peek().kind != Tok::End) lex_.fail("trailing input");
+  }
+
+ private:
+  std::string ident(const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != Tok::Ident) lex_.fail(std::string("expected ") + what);
+    return t.text;
+  }
+
+  void expect(Tok kind, const char* what) {
+    const Token t = lex_.take();
+    if (t.kind != kind) lex_.fail(std::string("expected '") + what + "'");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ExprPtr parseExpr(const std::string& text) {
+  Parser p(text);
+  ExprPtr e = p.expr();
+  p.expectEnd();
+  return e;
+}
+
+Program parseProgram(const std::string& text) {
+  Parser p(text);
+  Program prog = p.program();
+  p.expectEnd();
+  return prog;
+}
+
+}  // namespace dpart::dpl

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "dpl/program.hpp"
+
+namespace dpart::dpl {
+
+/// Parses the textual DPL syntax produced by Expr::toString() and
+/// Program::toString() back into expression trees / programs:
+///
+///   program  := stmt*
+///   stmt     := IDENT '=' expr '\n'
+///   expr     := term | '(' expr OP expr ')'        OP in { u, n, - }
+///   term     := 'equal' '(' IDENT ')'
+///             | 'image' '(' expr ',' IDENT ',' IDENT ')'
+///             | 'preimage' '(' IDENT ',' IDENT ',' expr ')'
+///             | IDENT
+///
+/// Identifiers cover partition symbols, region names and function ids
+/// (including field-function ids like `Particles[.].cell`). Parsing is the
+/// exact inverse of printing: parse(print(e)) is structurally equal to e,
+/// which the round-trip tests assert for every solver output.
+///
+/// Throws dpart::Error with position information on malformed input.
+ExprPtr parseExpr(const std::string& text);
+Program parseProgram(const std::string& text);
+
+}  // namespace dpart::dpl

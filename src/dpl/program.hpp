@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpl/expr.hpp"
+
+namespace dpart::dpl {
+
+/// One DPL statement: `lhs = rhs`, e.g. `P2 = image(P1, h, Cells)`.
+struct Stmt {
+  std::string lhs;
+  ExprPtr rhs;
+};
+
+/// A DPL program: an ordered list of partition definitions, each allowed to
+/// reference symbols defined earlier (or externally bound partitions).
+///
+/// This is the artifact the constraint solver synthesizes (paper Fig. 2 and
+/// Fig. 10b) and what the evaluator executes against a World to produce
+/// actual Partitions.
+class Program {
+ public:
+  void append(std::string lhs, ExprPtr rhs);
+
+  [[nodiscard]] const std::vector<Stmt>& stmts() const { return stmts_; }
+  [[nodiscard]] bool empty() const { return stmts_.empty(); }
+  [[nodiscard]] std::size_t size() const { return stmts_.size(); }
+
+  /// Number of statements that construct a partition with a real operator
+  /// (not a plain alias `P = Q`). The paper's "fewest partitions" heuristic
+  /// minimizes this.
+  [[nodiscard]] std::size_t constructedPartitions() const;
+
+  /// Common-subexpression elimination: rewrites repeated right-hand sides as
+  /// aliases of the first definition (the paper applies CSE to solutions,
+  /// e.g. Example 2).
+  [[nodiscard]] Program withCse() const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<Stmt> stmts_;
+};
+
+}  // namespace dpart::dpl

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "region/index_set.hpp"
+#include "region/world.hpp"
+
+namespace dpart::ir {
+
+/// Hooks the parallel runtime injects into loop execution.
+///
+/// The default implementations give plain serial semantics. The runtime
+/// overrides them to (a) validate that every access stays within the
+/// subregions assigned to the task (partition legality), (b) apply ownership
+/// guards to centered writes under aliased iteration partitions, and
+/// (c) guard or buffer uncentered reductions (Sections 5.1 / 5.2).
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  /// Called for every region access with the resolved element index.
+  virtual void onAccess(const Stmt& /*stmt*/, Index /*target*/) {}
+
+  /// Centered writes: return false to skip (non-owned duplicate iteration).
+  virtual bool shouldWrite(const Stmt& /*stmt*/, Index /*target*/) {
+    return true;
+  }
+
+  /// Reductions: return true when the contribution was handled (guarded out
+  /// or redirected to a buffer); false to have the runner apply it in place.
+  virtual bool handleReduce(const Stmt& /*stmt*/, Index /*target*/,
+                            double /*value*/) {
+    return false;
+  }
+};
+
+/// Executes a Loop over a subset of its iteration space against a World.
+///
+/// The runner is the single interpreter core shared by the serial reference
+/// execution (hooks = nullptr) and the task runtime (hooks installed per
+/// task). Field columns are resolved once at construction.
+class LoopRunner {
+ public:
+  LoopRunner(region::World& world, const Loop& loop);
+
+  LoopRunner(const LoopRunner&) = delete;
+  LoopRunner& operator=(const LoopRunner&) = delete;
+
+  /// Runs the given iterations in ascending order.
+  void run(const region::IndexSet& iters, ExecHooks* hooks = nullptr);
+
+  /// Runs the full iteration space (serial reference semantics).
+  void runAll(ExecHooks* hooks = nullptr);
+
+  [[nodiscard]] const Loop& loop() const { return loop_; }
+
+ private:
+  using Value = std::variant<double, Index, Run>;
+
+  struct Op {
+    const Stmt* stmt = nullptr;
+    int dst = -1;   // slot defined by this op
+    int idx = -1;   // slot holding the access / argument index
+    int src = -1;   // slot holding the stored/reduced/aliased value
+    std::vector<int> args;
+    std::vector<Op> body;  // InnerLoop
+    // Resolved column pointers (valid while the World is alive).
+    double* f64 = nullptr;
+    Index* idxField = nullptr;
+    Run* rangeField = nullptr;
+    Index fieldSize = 0;
+  };
+
+  int slotOf(const std::string& var);
+  std::vector<Op> compileStmts(const std::vector<Stmt>& stmts);
+  void execOps(const std::vector<Op>& ops, std::vector<Value>& env,
+               ExecHooks* hooks);
+
+  region::World& world_;
+  const Loop& loop_;
+  std::vector<Op> ops_;
+  int loopVarSlot_ = -1;
+  int slotCount_ = 0;
+  std::vector<std::string> slotNames_;
+};
+
+/// Runs every loop of a program once, in order, serially — the reference
+/// semantics auto-parallelized executions are validated against.
+void runSerial(region::World& world, const Program& program);
+
+}  // namespace dpart::ir

@@ -1,0 +1,150 @@
+#include "optimize/reduction_opt.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart::optimize {
+
+using analysis::AccessMode;
+using dpl::ExprKind;
+using dpl::ExprPtr;
+
+const char* toString(ReduceStrategy s) {
+  switch (s) {
+    case ReduceStrategy::Direct:
+      return "direct";
+    case ReduceStrategy::Guarded:
+      return "guarded";
+    case ReduceStrategy::Buffered:
+      return "buffered";
+    case ReduceStrategy::PrivateSplit:
+      return "private-split";
+  }
+  DPART_UNREACHABLE("bad ReduceStrategy");
+}
+
+namespace {
+
+// True when the bound expression is image(P_iter, f, S) — the reduction
+// indexes S through one function of the loop variable.
+bool isDirectIterImage(const ExprPtr& bound, const std::string& iterSymbol) {
+  return bound->kind == ExprKind::Image &&
+         bound->arg->kind == ExprKind::Symbol &&
+         bound->arg->name == iterSymbol;
+}
+
+}  // namespace
+
+bool isRelaxable(const analysis::ParallelizableResult& accesses,
+                 const analysis::LoopConstraints& constraints) {
+  bool anyUncenteredReduce = false;
+  for (const analysis::AccessInfo& a : accesses.accesses) {
+    if (a.mode == AccessMode::Write) return false;  // centered stores
+    if (a.mode == AccessMode::Reduce) {
+      if (a.centered) return false;  // duplicated iterations double-count
+      anyUncenteredReduce = true;
+      const ExprPtr& bound = constraints.stmtRawBound.at(a.stmt->id);
+      if (!isDirectIterImage(bound, constraints.iterSymbol)) return false;
+    }
+  }
+  return anyUncenteredReduce;
+}
+
+LoopReductionPlan relaxLoop(const analysis::ParallelizableResult& accesses,
+                            analysis::LoopConstraints& constraints) {
+  LoopReductionPlan plan;
+  plan.relaxed = true;
+
+  // Rebuild the system without DISJ(P_iter) and with the relaxed form of
+  // each uncentered reduction's constraints.
+  constraint::System rebuilt;
+  const constraint::System& old = constraints.system;
+
+  std::map<int, const analysis::AccessInfo*> reduceByStmt;
+  std::set<std::string> reduceSymbols;
+  for (const analysis::AccessInfo& a : accesses.accesses) {
+    if (a.mode == AccessMode::Reduce && !a.centered) {
+      reduceByStmt[a.stmt->id] = &a;
+      reduceSymbols.insert(constraints.stmtSymbol.at(a.stmt->id));
+    }
+  }
+
+  for (const std::string& sym : old.symbols()) {
+    rebuilt.declareSymbol(sym, old.regionOf(sym), old.isFixed(sym));
+  }
+  for (const constraint::Pred& p : old.preds()) {
+    if (p.kind == constraint::Pred::Kind::Disj &&
+        p.expr->kind == ExprKind::Symbol &&
+        p.expr->name == constraints.iterSymbol) {
+      continue;  // drop DISJ(P_iter)
+    }
+    if (p.kind == constraint::Pred::Kind::Part &&
+        p.expr->kind == ExprKind::Symbol) {
+      continue;  // re-added by declareSymbol
+    }
+    if (p.kind == constraint::Pred::Kind::Disj) {
+      rebuilt.addDisj(p.expr, p.assumed);
+    } else if (p.kind == constraint::Pred::Kind::Comp) {
+      rebuilt.addComp(p.expr, p.region, p.assumed);
+    } else {
+      rebuilt.addPart(p.expr, p.region, p.assumed);
+    }
+  }
+  // Map each uncentered-reduce symbol to its *raw* bound (the pure
+  // Algorithm 1 image of the iteration symbol), which carries the function
+  // the relaxed coverage constraint needs even when the recorded subset was
+  // chained through an earlier access's symbol.
+  std::map<std::string, ExprPtr> rawBoundOf;
+  for (const auto& [stmtId, access] : reduceByStmt) {
+    (void)access;
+    rawBoundOf[constraints.stmtSymbol.at(stmtId)] =
+        constraints.stmtRawBound.at(stmtId);
+  }
+  for (const constraint::Subset& sc : old.subsets()) {
+    // Replace the subset bounding each reduce partition with the relaxed
+    // constraints: DISJ+COMP on the reduce partition plus preimage coverage
+    // of the iteration space.
+    if (sc.rhs->kind == ExprKind::Symbol &&
+        reduceSymbols.contains(sc.rhs->name)) {
+      const std::string& pRed = sc.rhs->name;
+      const ExprPtr& raw = rawBoundOf.at(pRed);
+      DPART_CHECK(isDirectIterImage(raw, constraints.iterSymbol),
+                  "relaxLoop on a non-relaxable reduction");
+      const std::string& region = raw->region;
+      rebuilt.addDisj(dpl::symbol(pRed));
+      rebuilt.addComp(dpl::symbol(pRed), region);
+      rebuilt.addSubset(
+          dpl::preimage(old.regionOf(constraints.iterSymbol), raw->fn,
+                        dpl::symbol(pRed)),
+          dpl::symbol(constraints.iterSymbol));
+      continue;
+    }
+    rebuilt.addSubset(sc.lhs, sc.rhs, sc.assumed);
+  }
+  constraints.system = std::move(rebuilt);
+
+  for (const auto& [stmtId, access] : reduceByStmt) {
+    ReducePlan rp;
+    rp.stmtId = stmtId;
+    rp.strategy = ReduceStrategy::Guarded;
+    rp.partition = constraints.stmtSymbol.at(stmtId);
+    plan.reduces.push_back(rp);
+  }
+  return plan;
+}
+
+dpl::ExprPtr privateSubPartitionExpr(const ExprPtr& p, const std::string& fn,
+                                     const std::string& iterRegion,
+                                     const std::string& targetRegion) {
+  // f_S(P)
+  ExprPtr fsp = dpl::image(p, fn, targetRegion);
+  // f_R^{-1}(f_S(P))
+  ExprPtr preExt = dpl::preimage(iterRegion, fn, fsp);
+  // f_R^{-1}(f_S(P)) - P : elements of other subregions pointing into ours
+  ExprPtr foreign = dpl::subtractOf(preExt, p);
+  // f_S(foreign) : the shared part of the image
+  ExprPtr shared = dpl::image(foreign, fn, targetRegion);
+  // private = f_S(P) - shared
+  return dpl::subtractOf(fsp, shared);
+}
+
+}  // namespace dpart::optimize

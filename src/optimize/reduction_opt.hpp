@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/infer.hpp"
+#include "analysis/parallelizable.hpp"
+#include "constraint/system.hpp"
+#include "dpl/expr.hpp"
+
+namespace dpart::optimize {
+
+/// How one reduction statement will be executed (Section 5).
+enum class ReduceStrategy {
+  Direct,        ///< centered, or uncentered into a disjoint partition
+  Guarded,       ///< relaxed loop: apply only if the target is in the
+                 ///< task's (disjoint, complete) reduction subregion
+  Buffered,      ///< uncentered into an aliased partition: per-task buffer,
+                 ///< merged after the loop
+  PrivateSplit,  ///< Theorem 5.1: direct into the private sub-partition,
+                 ///< buffered only for the shared remainder
+};
+
+const char* toString(ReduceStrategy s);
+
+/// Per-reduction plan produced by the optimizer.
+struct ReducePlan {
+  int stmtId = -1;
+  ReduceStrategy strategy = ReduceStrategy::Direct;
+  /// Guarded/Buffered/PrivateSplit: symbol of the reduction partition.
+  std::string partition;
+  /// PrivateSplit: symbols of the private sub-partition and shared rest.
+  std::string privatePart;
+  std::string sharedPart;
+};
+
+/// Decision about one loop's reduction handling, made before unification.
+struct LoopReductionPlan {
+  bool relaxed = false;
+  std::vector<ReducePlan> reduces;
+};
+
+/// Whether a loop is eligible for the Section 5.1 relaxation: it has
+/// uncentered reductions, every write access is an uncentered reduction
+/// (duplicated iterations then only re-execute reads and guarded
+/// reductions), and every uncentered reduction maps the loop variable
+/// directly (bound of the form image(P_iter, f, S)), so the coverage
+/// constraint preimage(S', f, P_red) <= P_iter is expressible.
+bool isRelaxable(const analysis::ParallelizableResult& accesses,
+                 const analysis::LoopConstraints& constraints);
+
+/// Applies the relaxation to a loop's constraint system (Section 5.1):
+/// removes DISJ(P_iter), removes the image subset of each uncentered
+/// reduction, and adds DISJ/COMP on the reduction partitions plus the
+/// preimage coverage subsets. Returns the guarded reduce plans.
+LoopReductionPlan relaxLoop(const analysis::ParallelizableResult& accesses,
+                            analysis::LoopConstraints& constraints);
+
+/// Theorem 5.1: for a disjoint partition expressed by `p` over region
+/// `iterRegion`, builds the private sub-partition expression of
+/// image(p, fn, targetRegion):
+///
+///   f_S(P) - f_S( f_R^{-1}(f_S(P)) - P )
+dpl::ExprPtr privateSubPartitionExpr(const dpl::ExprPtr& p,
+                                     const std::string& fn,
+                                     const std::string& iterRegion,
+                                     const std::string& targetRegion);
+
+}  // namespace dpart::optimize

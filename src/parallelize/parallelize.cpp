@@ -1,0 +1,347 @@
+#include "parallelize/parallelize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "constraint/entail.hpp"
+#include "constraint/solver.hpp"
+#include "constraint/unify.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace dpart::parallelize {
+
+using analysis::AccessMode;
+using constraint::System;
+using dpl::ExprKind;
+using dpl::ExprPtr;
+using optimize::ReducePlan;
+using optimize::ReduceStrategy;
+
+std::string ParallelPlan::toString() const {
+  std::ostringstream os;
+  os << "=== DPL program ===\n" << dpl.toString();
+  os << "=== loop plans ===\n";
+  for (const PlannedLoop& pl : loops) {
+    os << pl.loop->name << ": iter=" << pl.iterPartition
+       << (pl.relaxed ? " (relaxed)" : "") << '\n';
+    for (const auto& [stmtId, sym] : pl.accessPartition) {
+      os << "  stmt#" << stmtId << " -> " << sym;
+      auto it = pl.reduces.find(stmtId);
+      if (it != pl.reduces.end()) {
+        os << " [" << optimize::toString(it->second.strategy);
+        if (!it->second.privatePart.empty()) {
+          os << " priv=" << it->second.privatePart
+             << " shared=" << it->second.sharedPart;
+        }
+        os << ']';
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+AutoParallelizer::AutoParallelizer(const region::World& world, Options options)
+    : world_(world), options_(options) {}
+
+void AutoParallelizer::addExternalConstraint(const System& external) {
+  System marked;
+  marked.merge(external, /*assumed=*/true);
+  externals_.push_back(std::move(marked));
+}
+
+std::set<std::string> AutoParallelizer::rangeFnIds() const {
+  std::set<std::string> out;
+  for (const std::string& id : world_.fnIds()) {
+    if (world_.fn(id).isRangeValued()) out.insert(id);
+  }
+  return out;
+}
+
+ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
+  ParallelPlan result;
+  const std::set<std::string> rangeFns = rangeFnIds();
+  Timer timer;
+
+  // ---- Inference (Algorithm 1) ----
+  struct LoopState {
+    const ir::Loop* loop;
+    analysis::ParallelizableResult accesses;
+    analysis::LoopConstraints constraints;
+    optimize::LoopReductionPlan reduction;
+  };
+  std::vector<LoopState> loops;
+  constraint::SymbolGen gen;
+  for (const ir::Loop& loop : program.loops) {
+    LoopState st;
+    st.loop = &loop;
+    st.accesses = analysis::checkParallelizable(world_, loop);
+    DPART_CHECK(st.accesses.ok,
+                "loop '" + loop.name + "' is not parallelizable: " +
+                    st.accesses.reason);
+    st.constraints = analysis::inferConstraints(world_, loop, gen);
+    loops.push_back(std::move(st));
+  }
+  result.stats.parallelLoops = static_cast<int>(loops.size());
+  result.stats.inferMs = timer.millis();
+  timer.reset();
+
+  // ---- Section 5.1 relaxation (per iteration-region group) ----
+  if (options_.enableRelaxation) {
+    // The paper's heuristic: relax only when *all* loops using the same
+    // iteration-space region can be relaxed. A loop with centered writes
+    // cannot run on an aliased iteration partition without losing its
+    // disjoint partition reuse, so it blocks its whole group (this is why
+    // Circuit keeps reduction buffers while MiniAero sheds them).
+    std::map<std::string, bool> groupRelaxable;
+    for (const LoopState& st : loops) {
+      bool& ok = groupRelaxable.try_emplace(st.loop->iterRegion, true)
+                     .first->second;
+      bool hasUncenteredReduce = false;
+      bool hasCenteredWrite = false;
+      for (const analysis::AccessInfo& a : st.accesses.accesses) {
+        if (a.mode == AccessMode::Reduce && !a.centered) {
+          hasUncenteredReduce = true;
+        }
+        if (a.mode == AccessMode::Write ||
+            (a.mode == AccessMode::Reduce && a.centered)) {
+          hasCenteredWrite = true;
+        }
+      }
+      if (hasCenteredWrite) ok = false;
+      if (hasUncenteredReduce &&
+          !optimize::isRelaxable(st.accesses, st.constraints)) {
+        ok = false;
+      }
+    }
+    for (LoopState& st : loops) {
+      if (!groupRelaxable.at(st.loop->iterRegion)) continue;
+      if (!optimize::isRelaxable(st.accesses, st.constraints)) continue;
+      st.reduction = optimize::relaxLoop(st.accesses, st.constraints);
+    }
+  }
+
+  // Tentative plans for remaining uncentered reductions: buffered (may be
+  // upgraded below).
+  for (LoopState& st : loops) {
+    if (st.reduction.relaxed) continue;
+    for (const analysis::AccessInfo& a : st.accesses.accesses) {
+      if (a.mode != AccessMode::Reduce || a.centered) continue;
+      ReducePlan rp;
+      rp.stmtId = a.stmt->id;
+      rp.strategy = ReduceStrategy::Buffered;
+      rp.partition = st.constraints.stmtSymbol.at(a.stmt->id);
+      st.reduction.reduces.push_back(rp);
+    }
+  }
+
+  // ---- Unification (Algorithm 3) ----
+  std::map<std::string, std::string> renames;
+  std::vector<System> systems;
+  for (LoopState& st : loops) {
+    if (options_.enableUnification) {
+      constraint::collapsePlainEdges(st.constraints.system, renames,
+                                     rangeFns);
+    }
+    systems.push_back(st.constraints.system);
+  }
+  for (const System& ext : externals_) systems.push_back(ext);
+
+  System combined;
+  if (options_.enableUnification) {
+    constraint::UnifyResult ur = constraint::unifySystems(systems, rangeFns);
+    combined = std::move(ur.system);
+    for (const auto& [from, to] : ur.renames) renames[from] = to;
+  } else {
+    for (const System& s : systems) combined.merge(s);
+    combined = combined.substituted({});
+  }
+  auto finalName = [&renames](std::string sym) {
+    auto it = renames.find(sym);
+    while (it != renames.end()) {
+      sym = it->second;
+      it = renames.find(sym);
+    }
+    return sym;
+  };
+
+  // ---- Section 5.1 first strategy: disjoint reduction partitions ----
+  // For non-relaxed loops whose uncentered reductions all target one
+  // partition symbol, demand DISJ on it so the solver derives a preimage
+  // iteration partition and no buffer is needed. Fall back when unsolvable.
+  std::set<std::string> disjointified;
+  if (options_.enableDisjointReduction) {
+    for (const LoopState& st : loops) {
+      if (st.reduction.relaxed) continue;
+      std::set<std::string> targets;
+      for (const ReducePlan& rp : st.reduction.reduces) {
+        targets.insert(finalName(rp.partition));
+      }
+      if (targets.size() == 1) disjointified.insert(*targets.begin());
+    }
+  }
+
+  constraint::Solution sol;
+  {
+    System attempt = combined;
+    for (const std::string& sym : disjointified) {
+      if (attempt.hasSymbol(sym) && !attempt.isFixed(sym)) {
+        attempt.addDisj(dpl::symbol(sym));
+      }
+    }
+    constraint::Solver solver(attempt, rangeFns);
+    sol = solver.solve();
+    if (!sol.ok && !disjointified.empty()) {
+      disjointified.clear();
+      constraint::Solver plain(combined, rangeFns);
+      sol = plain.solve();
+    }
+  }
+  DPART_CHECK(sol.ok, "constraint resolution failed: " + sol.failure);
+  result.stats.solveMs = timer.millis();
+  timer.reset();
+
+  // ---- Rewrite: emit DPL program and per-loop plans ----
+  dpl::Program prog = sol.program();
+  constraint::Entailment ent(sol.resolved, rangeFns);
+  auto assignedExpr = [&](const std::string& sym) -> ExprPtr {
+    auto it = sol.assignments.find(sym);
+    return it == sol.assignments.end() ? dpl::symbol(sym) : it->second;
+  };
+
+  int privCounter = 0;
+  for (LoopState& st : loops) {
+    PlannedLoop pl;
+    pl.loop = st.loop;
+    pl.relaxed = st.reduction.relaxed;
+    pl.iterPartition = finalName(st.constraints.iterSymbol);
+    for (const auto& [stmtId, sym] : st.constraints.stmtSymbol) {
+      pl.accessPartition[stmtId] = finalName(sym);
+    }
+
+    // Group this loop's buffered reduces by target region for the
+    // intersection of private sub-partitions (Section 5.2).
+    std::map<std::string, std::vector<ReducePlan*>> byRegion;
+    for (ReducePlan& rp : st.reduction.reduces) {
+      rp.partition = finalName(rp.partition);
+      if (rp.strategy != ReduceStrategy::Buffered) continue;
+      if (ent.proveDisj(assignedExpr(rp.partition))) {
+        // A disjoint reduction partition needs no buffer at all: each
+        // target receives contributions from exactly one task.
+        rp.strategy = ReduceStrategy::Direct;
+        continue;
+      }
+      // Locate the reduce stmt to find its region.
+      const ir::Stmt* stmt = nullptr;
+      st.loop->forEachStmt([&](const ir::Stmt& s) {
+        if (s.id == rp.stmtId) stmt = &s;
+      });
+      DPART_CHECK(stmt != nullptr);
+      byRegion[stmt->region].push_back(&rp);
+    }
+
+    // PENNANT Hint2's mechanism: a user-provided partition FIX is a valid
+    // private sub-partition for a reduction through f when the external
+    // constraints assert preimage(R_iter, f, FIX) <= P_iter and P_iter is
+    // disjoint — every side pointing into FIX[j] is then owned by task j.
+    auto externalPrivate = [&](const std::string& fn) -> std::string {
+      for (const System& ext : externals_) {
+        for (const constraint::Subset& sc : ext.subsets()) {
+          if (sc.lhs->kind == ExprKind::Preimage && sc.lhs->fn == fn &&
+              sc.lhs->region == st.loop->iterRegion &&
+              sc.lhs->arg->kind == ExprKind::Symbol &&
+              sc.rhs->kind == ExprKind::Symbol &&
+              finalName(sc.rhs->name) == pl.iterPartition) {
+            return sc.lhs->arg->name;
+          }
+        }
+      }
+      return "";
+    };
+
+    if (options_.enablePrivateSubPartitions) {
+      const ExprPtr iterExpr = assignedExpr(pl.iterPartition);
+      const bool iterDisjoint = ent.proveDisj(iterExpr);
+      for (auto& [regionName, plans] : byRegion) {
+        if (!iterDisjoint) continue;
+        // First preference: user-provided private sub-partitions for every
+        // reduction in the group (Section 6.5, Hint2).
+        bool allExternal = true;
+        std::vector<std::string> extPriv;
+        for (ReducePlan* rp : plans) {
+          const ExprPtr& bound = st.constraints.stmtRawBound.at(rp->stmtId);
+          std::string fix = bound->kind == ExprKind::Image
+                                ? externalPrivate(bound->fn)
+                                : std::string();
+          if (fix.empty()) {
+            allExternal = false;
+            break;
+          }
+          extPriv.push_back(std::move(fix));
+        }
+        if (allExternal && !plans.empty()) {
+          for (std::size_t i = 0; i < plans.size(); ++i) {
+            ReducePlan* rp = plans[i];
+            rp->strategy = ReduceStrategy::PrivateSplit;
+            rp->privatePart = extPriv[i];
+            rp->sharedPart = extPriv[i] + "_shared_" +
+                             std::to_string(rp->stmtId);
+            prog.append(rp->sharedPart,
+                        dpl::subtractOf(dpl::symbol(rp->partition),
+                                        dpl::symbol(extPriv[i])));
+          }
+          continue;
+        }
+        // Every reduce in this region group must map the loop variable
+        // directly so Theorem 5.1 applies: bound = image(P_iter, f, S).
+        std::vector<ExprPtr> privParts;
+        bool applicable = true;
+        for (ReducePlan* rp : plans) {
+          const ExprPtr& bound = st.constraints.stmtRawBound.at(rp->stmtId);
+          if (bound->kind != ExprKind::Image ||
+              bound->arg->kind != ExprKind::Symbol ||
+              finalName(bound->arg->name) != pl.iterPartition ||
+              rangeFns.contains(bound->fn)) {
+            applicable = false;
+            break;
+          }
+          privParts.push_back(optimize::privateSubPartitionExpr(
+              dpl::symbol(pl.iterPartition), bound->fn,
+              st.loop->iterRegion, regionName));
+        }
+        if (!applicable) continue;
+        ExprPtr priv = privParts.front();
+        for (std::size_t i = 1; i < privParts.size(); ++i) {
+          priv = dpl::intersectOf(priv, privParts[i]);
+        }
+        const std::string privName =
+            st.loop->name + "_priv_" + std::to_string(privCounter++);
+        prog.append(privName, priv);
+        for (ReducePlan* rp : plans) {
+          rp->strategy = ReduceStrategy::PrivateSplit;
+          rp->privatePart = privName;
+          rp->sharedPart = privName + "_shared_" + std::to_string(rp->stmtId);
+          prog.append(rp->sharedPart,
+                      dpl::subtractOf(dpl::symbol(rp->partition),
+                                      dpl::symbol(privName)));
+        }
+      }
+    }
+
+    for (const ReducePlan& rp : st.reduction.reduces) {
+      pl.reduces[rp.stmtId] = rp;
+    }
+    result.loops.push_back(std::move(pl));
+  }
+
+  result.dpl = prog.withCse();
+  result.system = sol.resolved;
+  for (const std::string& sym : combined.symbols()) {
+    if (combined.isFixed(sym)) result.externalSymbols.insert(sym);
+  }
+  result.stats.rewriteMs = timer.millis();
+  return result;
+}
+
+}  // namespace dpart::parallelize

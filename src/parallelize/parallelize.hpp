@@ -1,0 +1,94 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/infer.hpp"
+#include "analysis/parallelizable.hpp"
+#include "constraint/system.hpp"
+#include "dpl/program.hpp"
+#include "ir/ir.hpp"
+#include "optimize/reduction_opt.hpp"
+#include "region/world.hpp"
+
+namespace dpart::parallelize {
+
+/// Tuning knobs for the auto-parallelizer.
+struct Options {
+  /// Apply the Section 5.1 relaxation (guarded reductions, aliased
+  /// iteration partitions) where legal.
+  bool enableRelaxation = true;
+  /// Try to make single-function uncentered reductions disjoint via a
+  /// preimage iteration partition (Section 5.1's first strategy).
+  bool enableDisjointReduction = true;
+  /// Subtract private sub-partitions from buffered reduction partitions
+  /// (Section 5.2 / Theorem 5.1).
+  bool enablePrivateSubPartitions = true;
+  /// Unify partition symbols across loops (Algorithm 3). Disabling this
+  /// yields the paper's "naive" per-access partitioning, used by the
+  /// ablation benchmarks.
+  bool enableUnification = true;
+};
+
+/// Timing breakdown of one auto-parallelization run (paper Table 1 rows).
+struct CompileStats {
+  double inferMs = 0;
+  double solveMs = 0;   // unification + resolution
+  double rewriteMs = 0; // plan construction (the "code rewrite" stage)
+  int parallelLoops = 0;
+};
+
+/// Execution plan for one loop: which partition each access uses, how each
+/// reduction is handled, and whether the loop was relaxed.
+struct PlannedLoop {
+  const ir::Loop* loop = nullptr;
+  std::string iterPartition;
+  bool relaxed = false;
+  /// stmt id -> final (post-unification) partition symbol for the access.
+  std::map<int, std::string> accessPartition;
+  /// Reduction handling per reduce stmt id.
+  std::map<int, optimize::ReducePlan> reduces;
+};
+
+/// The full result of auto-parallelization: a DPL program constructing every
+/// needed partition, plus per-loop execution plans.
+struct ParallelPlan {
+  dpl::Program dpl;
+  std::vector<PlannedLoop> loops;
+  constraint::System system;  ///< final resolved system (diagnostics)
+  CompileStats stats;
+  std::set<std::string> externalSymbols;  ///< partitions the caller must bind
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// The public entry point: the paper's compiler pass.
+///
+///   AutoParallelizer ap(world);
+///   ap.addExternalConstraint(userInvariants);   // Section 3.3, optional
+///   ParallelPlan plan = ap.plan(program);       // throws Error on failure
+///
+/// The plan's DPL program is then evaluated (dpl::Evaluator) with the
+/// external partitions bound, and the loops executed by runtime::PlanExecutor.
+class AutoParallelizer {
+ public:
+  explicit AutoParallelizer(const region::World& world, Options options = {});
+
+  /// Registers user-provided invariants on existing partitions. All
+  /// conjuncts become assumed hypotheses and all symbols become fixed.
+  void addExternalConstraint(const constraint::System& external);
+
+  /// Runs the full pipeline on a program of parallelizable loops.
+  [[nodiscard]] ParallelPlan plan(const ir::Program& program);
+
+ private:
+  const region::World& world_;
+  Options options_;
+  std::vector<constraint::System> externals_;
+
+  [[nodiscard]] std::set<std::string> rangeFnIds() const;
+};
+
+}  // namespace dpart::parallelize

@@ -1,0 +1,176 @@
+#include "region/dpl_ops.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+namespace {
+
+// Interval index over the runs of a partition, for answering "which
+// subregions contain index v / overlap run [a,b)" without a full scan.
+class RunIndex {
+ public:
+  explicit RunIndex(const Partition& p) {
+    for (std::size_t j = 0; j < p.count(); ++j) {
+      for (const Run& r : p.sub(j).runs()) entries_.push_back({r, j});
+    }
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.run.lo < b.run.lo; });
+    // maxHiPrefix_[i] = max hi over entries_[0..i]; lets point queries stop
+    // walking left as soon as no earlier run can still reach the query.
+    maxHiPrefix_.resize(entries_.size());
+    Index maxHi = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      maxHi = std::max(maxHi, entries_[i].run.hi);
+      maxHiPrefix_[i] = maxHi;
+    }
+  }
+
+  // Calls visit(j) for each subregion j whose index set intersects [a, b).
+  // A subregion is reported once per overlapping run; callers dedup via
+  // set-builders, which tolerate duplicates.
+  template <typename Visit>
+  void forOverlaps(Index a, Index b, Visit&& visit) const {
+    if (entries_.empty() || b <= a) return;
+    // First entry with lo >= b can't overlap; walk left from there.
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), b,
+        [](const Entry& e, Index v) { return e.run.lo < v; });
+    while (it != entries_.begin()) {
+      --it;
+      const std::size_t pos = static_cast<std::size_t>(it - entries_.begin());
+      if (maxHiPrefix_[pos] <= a) break;  // nothing further left reaches [a,b)
+      if (it->run.hi > a) visit(it->owner);
+    }
+  }
+
+ private:
+  struct Entry {
+    Run run;
+    std::size_t owner;
+  };
+  std::vector<Entry> entries_;
+  std::vector<Index> maxHiPrefix_;
+};
+
+}  // namespace
+
+Partition equalPartition(const World& world, const std::string& regionName,
+                         std::size_t pieces) {
+  DPART_CHECK(pieces > 0, "equal() needs at least one piece");
+  const Index n = world.region(regionName).size();
+  std::vector<IndexSet> subs;
+  subs.reserve(pieces);
+  const Index base = n / static_cast<Index>(pieces);
+  const Index rem = n % static_cast<Index>(pieces);
+  Index lo = 0;
+  for (std::size_t j = 0; j < pieces; ++j) {
+    const Index len = base + (static_cast<Index>(j) < rem ? 1 : 0);
+    subs.push_back(IndexSet::interval(lo, lo + len));
+    lo += len;
+  }
+  return Partition(regionName, std::move(subs));
+}
+
+Partition imagePartition(const World& world, const Partition& src,
+                         const std::string& fnId,
+                         const std::string& targetRegion) {
+  const FnDef& f = world.fn(fnId);
+  const Index targetSize = world.region(targetRegion).size();
+  std::vector<IndexSet> subs;
+  subs.reserve(src.count());
+  for (std::size_t j = 0; j < src.count(); ++j) {
+    std::vector<Run> runs;
+    if (f.isRangeValued()) {
+      src.sub(j).forEach([&](Index k) {
+        Run r = world.evalRange(fnId, k);
+        r.lo = std::max<Index>(r.lo, 0);
+        r.hi = std::min(r.hi, targetSize);
+        if (r.hi > r.lo) runs.push_back(r);
+      });
+    } else {
+      src.sub(j).forEach([&](Index k) {
+        const Index v = world.evalPoint(fnId, k);
+        if (v >= 0 && v < targetSize) runs.push_back(Run{v, v + 1});
+      });
+    }
+    subs.push_back(IndexSet::fromRuns(std::move(runs)));
+  }
+  return Partition(targetRegion, std::move(subs));
+}
+
+Partition preimagePartition(const World& world,
+                            const std::string& targetRegion,
+                            const std::string& fnId, const Partition& src) {
+  const FnDef& f = world.fn(fnId);
+  const Index targetSize = world.region(targetRegion).size();
+  const RunIndex lookup(src);
+  std::vector<std::vector<Run>> runs(src.count());
+  for (Index k = 0; k < targetSize; ++k) {
+    Index a = 0;
+    Index b = 0;
+    if (f.isRangeValued()) {
+      const Run r = world.evalRange(fnId, k);
+      a = r.lo;
+      b = r.hi;
+    } else {
+      a = world.evalPoint(fnId, k);
+      b = a + 1;
+    }
+    lookup.forOverlaps(a, b, [&](std::size_t owner) {
+      auto& rs = runs[owner];
+      if (!rs.empty() && rs.back().hi == k) {
+        ++rs.back().hi;  // extend the contiguous tail
+      } else if (rs.empty() || rs.back().hi < k + 1 || rs.back().lo > k) {
+        rs.push_back(Run{k, k + 1});
+      }
+    });
+  }
+  std::vector<IndexSet> subs;
+  subs.reserve(src.count());
+  for (auto& rs : runs) subs.push_back(IndexSet::fromRuns(std::move(rs)));
+  return Partition(targetRegion, std::move(subs));
+}
+
+namespace {
+
+template <typename Op>
+Partition zipPartitions(const Partition& a, const Partition& b, Op&& op,
+                        const char* what) {
+  DPART_CHECK(a.regionName() == b.regionName(),
+              std::string(what) + ": operands partition different regions (" +
+                  a.regionName() + " vs " + b.regionName() + ")");
+  DPART_CHECK(a.count() == b.count(),
+              std::string(what) + ": operand subregion counts differ");
+  std::vector<IndexSet> subs;
+  subs.reserve(a.count());
+  for (std::size_t j = 0; j < a.count(); ++j) {
+    subs.push_back(op(a.sub(j), b.sub(j)));
+  }
+  return Partition(a.regionName(), std::move(subs));
+}
+
+}  // namespace
+
+Partition unionPartitions(const Partition& a, const Partition& b) {
+  return zipPartitions(
+      a, b, [](const IndexSet& x, const IndexSet& y) { return x.unionWith(y); },
+      "union");
+}
+
+Partition intersectPartitions(const Partition& a, const Partition& b) {
+  return zipPartitions(
+      a, b,
+      [](const IndexSet& x, const IndexSet& y) { return x.intersectWith(y); },
+      "intersect");
+}
+
+Partition subtractPartitions(const Partition& a, const Partition& b) {
+  return zipPartitions(
+      a, b, [](const IndexSet& x, const IndexSet& y) { return x.subtract(y); },
+      "subtract");
+}
+
+}  // namespace dpart::region

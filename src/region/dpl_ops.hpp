@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::region {
+
+/// Concrete kernels for the DPL operators of the paper (Fig. 5).
+///
+/// These are the reference semantics: each operator is defined set-wise over
+/// explicit IndexSets, exactly as in Section 2:
+///
+///   equal(R, n)            — complete disjoint partition with ~equal pieces
+///   image(E, f, R)[i]      = { f(k) in R | k in E[i] }
+///   preimage(R, f, E)[i]   = { k in R | f(k) in E[i] }
+///   (E1 # E2)[i]           = E1[i] # E2[i]      for # in { u, n, - }
+///   IMAGE(E, F, R)[i]      = { l in R | k in E[i], l in F(k) }   (Sec. 4)
+///   PREIMAGE(R, F, E)[i]   = { l in R | k in E[i], k in F(l) }   (Sec. 4)
+///
+/// Point-valued fns dispatch to image/preimage; range-valued fns (FieldRange)
+/// dispatch to the generalized IMAGE/PREIMAGE — callers use the same entry
+/// points and the fn kind decides.
+
+/// equal(R, n): n contiguous chunks of [0, |R|), sizes differing by at most 1.
+Partition equalPartition(const World& world, const std::string& regionName,
+                         std::size_t pieces);
+
+/// image(src, fn, target) / IMAGE(src, Fn, target).
+Partition imagePartition(const World& world, const Partition& src,
+                         const std::string& fnId,
+                         const std::string& targetRegion);
+
+/// preimage(target, fn, src) / PREIMAGE(target, Fn, src).
+Partition preimagePartition(const World& world,
+                            const std::string& targetRegion,
+                            const std::string& fnId, const Partition& src);
+
+/// Subregion-wise set operations; operand subregion counts must match.
+Partition unionPartitions(const Partition& a, const Partition& b);
+Partition intersectPartitions(const Partition& a, const Partition& b);
+Partition subtractPartitions(const Partition& a, const Partition& b);
+
+}  // namespace dpart::region

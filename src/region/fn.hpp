@@ -1,0 +1,45 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "region/index_set.hpp"
+
+namespace dpart::region {
+
+/// Kind of an index-to-index function usable in image/preimage operators.
+enum class FnKind {
+  Identity,    ///< f_ID(x) = x
+  FieldPtr,    ///< x -> value of an Idx field at x (e.g. Particles[·].cell)
+  Affine,      ///< x -> arbitrary pure point function (affine/stencil maps)
+  FieldRange,  ///< x -> run of indices stored in a Range field (CSR rows);
+               ///< used by the generalized IMAGE/PREIMAGE of Section 4
+};
+
+const char* toString(FnKind k);
+
+/// A named function from region indices to region indices (or index sets).
+///
+/// The constraint solver treats functions purely symbolically — two FnDefs
+/// are "the same function" iff their ids are equal. Only the DPL evaluator
+/// and the runtime consult the evaluation payload. This mirrors the paper,
+/// where constraints carry function *symbols* like `Particles[·].cell` or
+/// `h` and the runtime computes actual images.
+struct FnDef {
+  std::string id;            ///< symbolic name, unique within a World
+  FnKind kind = FnKind::Identity;
+  std::string domainRegion;  ///< region whose indices the function consumes
+  std::string rangeRegion;   ///< region whose indices the function produces
+  std::string field;         ///< FieldPtr/FieldRange: field on domainRegion
+  std::function<Index(Index)> point;  ///< Affine: the evaluator
+
+  [[nodiscard]] bool isRangeValued() const {
+    return kind == FnKind::FieldRange;
+  }
+};
+
+/// Canonical id for the identity function (used for iteration-space images;
+/// image(P, f_ID, R) simplifies to P in the constraint language).
+inline const std::string kIdentityFnId = "f_ID";
+
+}  // namespace dpart::region

@@ -1,0 +1,218 @@
+#include "region/index_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+namespace {
+
+// Coalesces a sorted-by-lo vector of runs (possibly overlapping/adjacent)
+// into the canonical disjoint, non-adjacent form.
+std::vector<Run> coalesceSorted(std::vector<Run> runs) {
+  std::vector<Run> out;
+  out.reserve(runs.size());
+  for (const Run& r : runs) {
+    if (r.hi <= r.lo) continue;
+    if (!out.empty() && r.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, r.hi);
+    } else {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IndexSet IndexSet::interval(Index lo, Index hi) {
+  IndexSet s;
+  if (hi > lo) {
+    s.runs_.push_back(Run{lo, hi});
+    s.size_ = hi - lo;
+  }
+  return s;
+}
+
+IndexSet IndexSet::fromIndices(std::vector<Index> indices) {
+  std::sort(indices.begin(), indices.end());
+  IndexSet s;
+  for (Index i : indices) {
+    if (!s.runs_.empty() && i < s.runs_.back().hi) continue;  // duplicate
+    if (!s.runs_.empty() && i == s.runs_.back().hi) {
+      ++s.runs_.back().hi;
+    } else {
+      s.runs_.push_back(Run{i, i + 1});
+    }
+  }
+  s.recomputeSize();
+  return s;
+}
+
+IndexSet IndexSet::fromRuns(std::vector<Run> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const Run& a, const Run& b) { return a.lo < b.lo; });
+  IndexSet s;
+  s.runs_ = coalesceSorted(std::move(runs));
+  s.recomputeSize();
+  return s;
+}
+
+IndexSet::IndexSet(std::initializer_list<Index> indices)
+    : IndexSet(fromIndices(std::vector<Index>(indices))) {}
+
+void IndexSet::recomputeSize() {
+  size_ = 0;
+  for (const Run& r : runs_) size_ += r.size();
+}
+
+Index IndexSet::lowerBound() const {
+  DPART_CHECK(!empty());
+  return runs_.front().lo;
+}
+
+Index IndexSet::upperBound() const {
+  DPART_CHECK(!empty());
+  return runs_.back().hi;
+}
+
+bool IndexSet::contains(Index i) const {
+  // First run with lo > i; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), i,
+      [](Index v, const Run& r) { return v < r.lo; });
+  if (it == runs_.begin()) return false;
+  --it;
+  return i < it->hi;
+}
+
+bool IndexSet::containsAll(const IndexSet& other) const {
+  auto it = runs_.begin();
+  for (const Run& r : other.runs_) {
+    while (it != runs_.end() && it->hi <= r.lo) ++it;
+    if (it == runs_.end() || it->lo > r.lo || it->hi < r.hi) return false;
+  }
+  return true;
+}
+
+bool IndexSet::intersects(const IndexSet& other) const {
+  auto a = runs_.begin();
+  auto b = other.runs_.begin();
+  while (a != runs_.end() && b != other.runs_.end()) {
+    if (a->hi <= b->lo) {
+      ++a;
+    } else if (b->hi <= a->lo) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+IndexSet IndexSet::unionWith(const IndexSet& other) const {
+  std::vector<Run> merged;
+  merged.reserve(runs_.size() + other.runs_.size());
+  std::merge(runs_.begin(), runs_.end(), other.runs_.begin(),
+             other.runs_.end(), std::back_inserter(merged),
+             [](const Run& a, const Run& b) { return a.lo < b.lo; });
+  IndexSet s;
+  s.runs_ = coalesceSorted(std::move(merged));
+  s.recomputeSize();
+  return s;
+}
+
+IndexSet IndexSet::intersectWith(const IndexSet& other) const {
+  IndexSet s;
+  auto a = runs_.begin();
+  auto b = other.runs_.begin();
+  while (a != runs_.end() && b != other.runs_.end()) {
+    const Index lo = std::max(a->lo, b->lo);
+    const Index hi = std::min(a->hi, b->hi);
+    if (lo < hi) s.runs_.push_back(Run{lo, hi});
+    if (a->hi < b->hi) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  s.recomputeSize();
+  return s;
+}
+
+IndexSet IndexSet::subtract(const IndexSet& other) const {
+  IndexSet s;
+  auto b = other.runs_.begin();
+  for (Run r : runs_) {
+    while (b != other.runs_.end() && b->hi <= r.lo) ++b;
+    Index cur = r.lo;
+    auto bb = b;
+    while (bb != other.runs_.end() && bb->lo < r.hi) {
+      if (bb->lo > cur) s.runs_.push_back(Run{cur, bb->lo});
+      cur = std::max(cur, bb->hi);
+      ++bb;
+    }
+    if (cur < r.hi) s.runs_.push_back(Run{cur, r.hi});
+  }
+  s.recomputeSize();
+  return s;
+}
+
+void IndexSet::forEach(const std::function<void(Index)>& fn) const {
+  for (const Run& r : runs_) {
+    for (Index i = r.lo; i < r.hi; ++i) fn(i);
+  }
+}
+
+std::vector<Index> IndexSet::toVector() const {
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  forEach([&](Index i) { out.push_back(i); });
+  return out;
+}
+
+std::string IndexSet::toString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IndexSet& set) {
+  os << '{';
+  bool first = true;
+  for (const Run& r : set.runs()) {
+    if (!first) os << ' ';
+    first = false;
+    if (r.size() == 1) {
+      os << r.lo;
+    } else {
+      os << '[' << r.lo << ',' << r.hi << ')';
+    }
+  }
+  os << '}';
+  return os;
+}
+
+void IndexSetBuilder::add(Index i) { addRun(i, i + 1); }
+
+void IndexSetBuilder::addRun(Index lo, Index hi) {
+  if (hi <= lo) return;
+  if (sorted_ && !runs_.empty() && lo < runs_.back().lo) sorted_ = false;
+  if (sorted_ && !runs_.empty() && lo <= runs_.back().hi) {
+    runs_.back().hi = std::max(runs_.back().hi, hi);
+  } else {
+    runs_.push_back(Run{lo, hi});
+  }
+}
+
+IndexSet IndexSetBuilder::build() {
+  IndexSet result = IndexSet::fromRuns(std::move(runs_));
+  runs_.clear();
+  sorted_ = true;
+  return result;
+}
+
+}  // namespace dpart::region

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dpart::region {
+
+/// Index of an element within a region. Regions are indexed [0, size).
+using Index = std::int64_t;
+
+/// Half-open run of consecutive indices [lo, hi).
+struct Run {
+  Index lo = 0;
+  Index hi = 0;  // exclusive
+
+  [[nodiscard]] Index size() const { return hi - lo; }
+  friend bool operator==(const Run&, const Run&) = default;
+};
+
+/// A set of indices stored as sorted, disjoint, non-adjacent runs.
+///
+/// IndexSet is the concrete representation of subregions: every DPL operator
+/// ultimately manipulates IndexSets. The run-length representation serves two
+/// purposes: set operations are linear merges, and `runCount()` exposes the
+/// fragmentation of a subregion, which the runtime and the cluster simulator
+/// charge for (non-contiguous subregions are how the paper explains the
+/// MiniAero and PENNANT performance gaps).
+class IndexSet {
+ public:
+  IndexSet() = default;
+
+  /// The contiguous set [lo, hi). Empty if hi <= lo.
+  static IndexSet interval(Index lo, Index hi);
+
+  /// Builds a set from arbitrary (possibly unsorted, duplicated) indices.
+  static IndexSet fromIndices(std::vector<Index> indices);
+
+  static IndexSet fromRuns(std::vector<Run> runs);
+
+  IndexSet(std::initializer_list<Index> indices);
+
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+  [[nodiscard]] Index size() const { return size_; }
+  [[nodiscard]] std::size_t runCount() const { return runs_.size(); }
+  [[nodiscard]] std::span<const Run> runs() const { return runs_; }
+
+  /// Smallest index in the set. Precondition: !empty().
+  [[nodiscard]] Index lowerBound() const;
+  /// One past the largest index in the set. Precondition: !empty().
+  [[nodiscard]] Index upperBound() const;
+
+  [[nodiscard]] bool contains(Index i) const;
+  [[nodiscard]] bool containsAll(const IndexSet& other) const;
+  [[nodiscard]] bool intersects(const IndexSet& other) const;
+
+  [[nodiscard]] IndexSet unionWith(const IndexSet& other) const;
+  [[nodiscard]] IndexSet intersectWith(const IndexSet& other) const;
+  [[nodiscard]] IndexSet subtract(const IndexSet& other) const;
+
+  /// Calls fn(i) for every index in ascending order.
+  void forEach(const std::function<void(Index)>& fn) const;
+
+  /// All indices, ascending. Intended for tests and small sets.
+  [[nodiscard]] std::vector<Index> toVector() const;
+
+  /// Human-readable form like "{[0,4) [7,9)}".
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const IndexSet&, const IndexSet&) = default;
+
+ private:
+  void recomputeSize();
+
+  std::vector<Run> runs_;  // sorted, disjoint, non-adjacent, all non-empty
+  Index size_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const IndexSet& set);
+
+/// Accumulates indices one at a time and coalesces them into an IndexSet.
+/// Appending in ascending order is O(1) amortized; arbitrary order falls back
+/// to a sort at build() time.
+class IndexSetBuilder {
+ public:
+  void add(Index i);
+  void addRun(Index lo, Index hi);
+
+  /// Consumes the builder.
+  [[nodiscard]] IndexSet build();
+
+ private:
+  std::vector<Run> runs_;  // coalesced on the fly while input stays sorted
+  bool sorted_ = true;
+};
+
+}  // namespace dpart::region

@@ -1,0 +1,72 @@
+#include "region/partition.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+const IndexSet& Partition::sub(std::size_t i) const {
+  DPART_CHECK(i < subs_.size(), "subregion index out of range");
+  return subs_[i];
+}
+
+bool Partition::isDisjoint() const {
+  // Pairwise intersection via a single sweep: collect all runs tagged with
+  // their subregion, sort, and look for overlap between different tags.
+  struct Tagged {
+    Run run;
+    std::size_t owner;
+  };
+  std::vector<Tagged> all;
+  for (std::size_t j = 0; j < subs_.size(); ++j) {
+    for (const Run& r : subs_[j].runs()) all.push_back({r, j});
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return a.run.lo < b.run.lo;
+  });
+  Index maxHi = 0;
+  bool first = true;
+  for (const Tagged& t : all) {
+    if (!first && t.run.lo < maxHi) return false;
+    maxHi = first ? t.run.hi : std::max(maxHi, t.run.hi);
+    first = false;
+  }
+  return true;
+}
+
+bool Partition::isComplete(Index regionSize) const {
+  return unionAll() == IndexSet::interval(0, regionSize);
+}
+
+IndexSet Partition::unionAll() const {
+  std::vector<Run> runs;
+  for (const IndexSet& s : subs_) {
+    runs.insert(runs.end(), s.runs().begin(), s.runs().end());
+  }
+  return IndexSet::fromRuns(std::move(runs));
+}
+
+Index Partition::totalElements() const {
+  Index total = 0;
+  for (const IndexSet& s : subs_) total += s.size();
+  return total;
+}
+
+std::size_t Partition::maxRunCount() const {
+  std::size_t m = 0;
+  for (const IndexSet& s : subs_) m = std::max(m, s.runCount());
+  return m;
+}
+
+std::string Partition::toString() const {
+  std::ostringstream os;
+  os << "partition of " << regionName_ << " [" << subs_.size() << "]:";
+  for (std::size_t j = 0; j < subs_.size(); ++j) {
+    os << "\n  [" << j << "] " << subs_[j].toString();
+  }
+  return os.str();
+}
+
+}  // namespace dpart::region

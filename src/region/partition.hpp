@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "region/index_set.hpp"
+
+namespace dpart::region {
+
+class Region;
+
+/// A first-class data partition: an indexed array of subregions (IndexSets)
+/// of one parent region.
+///
+/// Partitions carry no disjointness/completeness *claims*; those are
+/// properties checked against the actual index sets (`isDisjoint()`,
+/// `isComplete()`). The constraint solver reasons about such properties
+/// symbolically, and the tests use these checkers to validate that the
+/// solver's symbolic reasoning matches ground truth.
+class Partition {
+ public:
+  Partition() = default;
+  Partition(std::string regionName, std::vector<IndexSet> subregions)
+      : regionName_(std::move(regionName)), subs_(std::move(subregions)) {}
+
+  [[nodiscard]] const std::string& regionName() const { return regionName_; }
+  [[nodiscard]] std::size_t count() const { return subs_.size(); }
+  [[nodiscard]] const IndexSet& sub(std::size_t i) const;
+  [[nodiscard]] const std::vector<IndexSet>& subregions() const {
+    return subs_;
+  }
+
+  /// True when no two subregions share an index.
+  [[nodiscard]] bool isDisjoint() const;
+
+  /// True when the union of subregions covers [0, regionSize).
+  [[nodiscard]] bool isComplete(Index regionSize) const;
+
+  /// Union of all subregions.
+  [[nodiscard]] IndexSet unionAll() const;
+
+  /// Sum of subregion sizes (>= unionAll().size() when aliased).
+  [[nodiscard]] Index totalElements() const;
+
+  /// Largest run count over subregions — the fragmentation measure consumed
+  /// by the cluster simulator's per-run overhead term.
+  [[nodiscard]] std::size_t maxRunCount() const;
+
+  [[nodiscard]] std::string toString() const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  std::string regionName_;
+  std::vector<IndexSet> subs_;
+};
+
+}  // namespace dpart::region

@@ -1,0 +1,98 @@
+#include "region/region.hpp"
+
+namespace dpart::region {
+
+const char* toString(FieldType t) {
+  switch (t) {
+    case FieldType::F64:
+      return "f64";
+    case FieldType::Idx:
+      return "idx";
+    case FieldType::Range:
+      return "range";
+  }
+  DPART_UNREACHABLE("bad FieldType");
+}
+
+void Region::addField(const std::string& field, FieldType type) {
+  DPART_CHECK(!fields_.contains(field),
+              "duplicate field '" + field + "' on region " + name_);
+  const auto n = static_cast<std::size_t>(size_);
+  switch (type) {
+    case FieldType::F64:
+      fields_.emplace(field, std::vector<double>(n, 0.0));
+      break;
+    case FieldType::Idx:
+      fields_.emplace(field, std::vector<Index>(n, 0));
+      break;
+    case FieldType::Range:
+      fields_.emplace(field, std::vector<Run>(n));
+      break;
+  }
+}
+
+FieldType Region::fieldType(const std::string& field) const {
+  const Column& c = column(field);
+  if (std::holds_alternative<std::vector<double>>(c)) return FieldType::F64;
+  if (std::holds_alternative<std::vector<Index>>(c)) return FieldType::Idx;
+  return FieldType::Range;
+}
+
+std::vector<std::string> Region::fieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& [name, _] : fields_) names.push_back(name);
+  return names;
+}
+
+const Region::Column& Region::column(const std::string& field) const {
+  auto it = fields_.find(field);
+  DPART_CHECK(it != fields_.end(),
+              "no field '" + field + "' on region " + name_);
+  return it->second;
+}
+
+Region::Column& Region::column(const std::string& field) {
+  auto it = fields_.find(field);
+  DPART_CHECK(it != fields_.end(),
+              "no field '" + field + "' on region " + name_);
+  return it->second;
+}
+
+std::span<double> Region::f64(const std::string& field) {
+  auto* v = std::get_if<std::vector<double>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not f64");
+  return *v;
+}
+
+std::span<const double> Region::f64(const std::string& field) const {
+  const auto* v = std::get_if<std::vector<double>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not f64");
+  return *v;
+}
+
+std::span<Index> Region::idx(const std::string& field) {
+  auto* v = std::get_if<std::vector<Index>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not idx");
+  return *v;
+}
+
+std::span<const Index> Region::idx(const std::string& field) const {
+  const auto* v = std::get_if<std::vector<Index>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not idx");
+  return *v;
+}
+
+std::span<Run> Region::range(const std::string& field) {
+  auto* v = std::get_if<std::vector<Run>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not range");
+  return *v;
+}
+
+std::span<const Run> Region::range(const std::string& field) const {
+  const auto* v = std::get_if<std::vector<Run>>(&column(field));
+  DPART_CHECK(v != nullptr, "field '" + field + "' is not range");
+  return *v;
+}
+
+}  // namespace dpart::region

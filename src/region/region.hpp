@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "region/index_set.hpp"
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+/// Type of a region field. Regions are column stores: each field is one
+/// dense array over the region's index space.
+enum class FieldType {
+  F64,    ///< double-precision scalar (simulation state)
+  Idx,    ///< index into some region ("pointer" fields like Particles[p].cell)
+  Range,  ///< half-open run of indices (CSR row extents like Ranges[i])
+};
+
+const char* toString(FieldType t);
+
+/// A region in the sense of Regent/Legion: an indexed collection of values
+/// with named fields. All our regions have the contiguous index space
+/// [0, size).
+///
+/// Regions are identified by name; constraint inference and the DPL solver
+/// refer to regions symbolically and only the DPL *evaluator* touches field
+/// data (to evaluate field-backed functions like `Particles[·].cell`).
+class Region {
+ public:
+  Region(std::string name, Index size) : name_(std::move(name)), size_(size) {
+    DPART_CHECK(size >= 0, "region size must be non-negative");
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Index size() const { return size_; }
+
+  /// Full index space [0, size) of this region.
+  [[nodiscard]] IndexSet indexSpace() const {
+    return IndexSet::interval(0, size_);
+  }
+
+  /// Declares a zero-initialized field. Name must be fresh.
+  void addField(const std::string& field, FieldType type);
+
+  [[nodiscard]] bool hasField(const std::string& field) const {
+    return fields_.contains(field);
+  }
+  [[nodiscard]] FieldType fieldType(const std::string& field) const;
+  [[nodiscard]] std::vector<std::string> fieldNames() const;
+
+  /// Mutable/const access to field columns. The field must exist and have
+  /// the matching type.
+  [[nodiscard]] std::span<double> f64(const std::string& field);
+  [[nodiscard]] std::span<const double> f64(const std::string& field) const;
+  [[nodiscard]] std::span<Index> idx(const std::string& field);
+  [[nodiscard]] std::span<const Index> idx(const std::string& field) const;
+  [[nodiscard]] std::span<Run> range(const std::string& field);
+  [[nodiscard]] std::span<const Run> range(const std::string& field) const;
+
+ private:
+  using Column =
+      std::variant<std::vector<double>, std::vector<Index>, std::vector<Run>>;
+
+  [[nodiscard]] const Column& column(const std::string& field) const;
+  [[nodiscard]] Column& column(const std::string& field);
+
+  std::string name_;
+  Index size_;
+  std::map<std::string, Column> fields_;
+};
+
+}  // namespace dpart::region

@@ -1,0 +1,120 @@
+#include "region/world.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+const char* toString(FnKind k) {
+  switch (k) {
+    case FnKind::Identity:
+      return "identity";
+    case FnKind::FieldPtr:
+      return "field";
+    case FnKind::Affine:
+      return "affine";
+    case FnKind::FieldRange:
+      return "field-range";
+  }
+  DPART_UNREACHABLE("bad FnKind");
+}
+
+Region& World::addRegion(const std::string& name, Index size) {
+  DPART_CHECK(!regions_.contains(name), "duplicate region '" + name + "'");
+  auto [it, _] = regions_.emplace(name, Region(name, size));
+  return it->second;
+}
+
+Region& World::region(const std::string& name) {
+  auto it = regions_.find(name);
+  DPART_CHECK(it != regions_.end(), "unknown region '" + name + "'");
+  return it->second;
+}
+
+const Region& World::region(const std::string& name) const {
+  auto it = regions_.find(name);
+  DPART_CHECK(it != regions_.end(), "unknown region '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> World::regionNames() const {
+  std::vector<std::string> names;
+  names.reserve(regions_.size());
+  for (const auto& [name, _] : regions_) names.push_back(name);
+  return names;
+}
+
+const FnDef& World::defineFn(FnDef def) {
+  DPART_CHECK(def.id != kIdentityFnId, "f_ID is predefined");
+  DPART_CHECK(!fns_.contains(def.id), "duplicate function '" + def.id + "'");
+  auto [it, _] = fns_.emplace(def.id, std::move(def));
+  return it->second;
+}
+
+std::string World::fieldFnId(const std::string& regionName,
+                             const std::string& field) {
+  return regionName + "[.]." + field;
+}
+
+const FnDef& World::defineFieldFn(const std::string& regionName,
+                                  const std::string& field,
+                                  const std::string& rangeRegion) {
+  DPART_CHECK(region(regionName).fieldType(field) == FieldType::Idx,
+              "field fn requires an Idx field");
+  return defineFn(FnDef{fieldFnId(regionName, field), FnKind::FieldPtr,
+                        regionName, rangeRegion, field, nullptr});
+}
+
+const FnDef& World::defineAffineFn(const std::string& id,
+                                   const std::string& domainRegion,
+                                   const std::string& rangeRegion,
+                                   std::function<Index(Index)> fn) {
+  return defineFn(FnDef{id, FnKind::Affine, domainRegion, rangeRegion, "",
+                        std::move(fn)});
+}
+
+const FnDef& World::defineRangeFn(const std::string& regionName,
+                                  const std::string& field,
+                                  const std::string& rangeRegion) {
+  DPART_CHECK(region(regionName).fieldType(field) == FieldType::Range,
+              "range fn requires a Range field");
+  return defineFn(FnDef{fieldFnId(regionName, field), FnKind::FieldRange,
+                        regionName, rangeRegion, field, nullptr});
+}
+
+std::vector<std::string> World::fnIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(fns_.size());
+  for (const auto& [id, _] : fns_) ids.push_back(id);
+  return ids;
+}
+
+const FnDef& World::fn(const std::string& id) const {
+  if (id == kIdentityFnId) return identity_;
+  auto it = fns_.find(id);
+  DPART_CHECK(it != fns_.end(), "unknown function '" + id + "'");
+  return it->second;
+}
+
+Index World::evalPoint(const std::string& fnId, Index i) const {
+  const FnDef& f = fn(fnId);
+  switch (f.kind) {
+    case FnKind::Identity:
+      return i;
+    case FnKind::FieldPtr:
+      return region(f.domainRegion).idx(f.field)[static_cast<std::size_t>(i)];
+    case FnKind::Affine:
+      return f.point(i);
+    case FnKind::FieldRange:
+      break;
+  }
+  throw Error("evalPoint on range-valued function '" + fnId + "'");
+}
+
+Run World::evalRange(const std::string& fnId, Index i) const {
+  const FnDef& f = fn(fnId);
+  DPART_CHECK(f.kind == FnKind::FieldRange,
+              "evalRange on point-valued function '" + fnId + "'");
+  return region(f.domainRegion).range(f.field)[static_cast<std::size_t>(i)];
+}
+
+}  // namespace dpart::region

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "region/fn.hpp"
+#include "region/region.hpp"
+
+namespace dpart::region {
+
+/// Owns the regions and function definitions of one program instance.
+///
+/// Everything downstream — the IR interpreter, the DPL evaluator, the task
+/// runtime and the cluster simulator — resolves region and function names
+/// against a World.
+class World {
+ public:
+  Region& addRegion(const std::string& name, Index size);
+  [[nodiscard]] bool hasRegion(const std::string& name) const {
+    return regions_.contains(name);
+  }
+  [[nodiscard]] Region& region(const std::string& name);
+  [[nodiscard]] const Region& region(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> regionNames() const;
+
+  /// Registers a function. Its id must be fresh.
+  const FnDef& defineFn(FnDef def);
+
+  /// Convenience: registers the FieldPtr function `region[·].field`.
+  const FnDef& defineFieldFn(const std::string& regionName,
+                             const std::string& field,
+                             const std::string& rangeRegion);
+
+  /// Convenience: registers a named pure point function.
+  const FnDef& defineAffineFn(const std::string& id,
+                              const std::string& domainRegion,
+                              const std::string& rangeRegion,
+                              std::function<Index(Index)> fn);
+
+  /// Convenience: registers the FieldRange function `region[·].field`
+  /// (range-valued, Section 4).
+  const FnDef& defineRangeFn(const std::string& regionName,
+                             const std::string& field,
+                             const std::string& rangeRegion);
+
+  [[nodiscard]] bool hasFn(const std::string& id) const {
+    return id == kIdentityFnId || fns_.contains(id);
+  }
+  [[nodiscard]] const FnDef& fn(const std::string& id) const;
+  /// Ids of all user-defined functions (excludes the implicit identity).
+  [[nodiscard]] std::vector<std::string> fnIds() const;
+
+  /// Evaluates a point-valued function at index i.
+  [[nodiscard]] Index evalPoint(const std::string& fnId, Index i) const;
+
+  /// Evaluates a range-valued function at index i.
+  [[nodiscard]] Run evalRange(const std::string& fnId, Index i) const;
+
+  /// Canonical id for a FieldPtr/FieldRange fn: "R[.].field".
+  static std::string fieldFnId(const std::string& regionName,
+                               const std::string& field);
+
+ private:
+  std::map<std::string, Region> regions_;
+  std::map<std::string, FnDef> fns_;
+  FnDef identity_{kIdentityFnId, FnKind::Identity, "", "", "", nullptr};
+};
+
+}  // namespace dpart::region

@@ -1,0 +1,223 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace dpart::runtime {
+
+using optimize::ReduceStrategy;
+using region::Index;
+using region::IndexSet;
+using region::Partition;
+
+PlanExecutor::PlanExecutor(region::World& world,
+                           const parallelize::ParallelPlan& plan,
+                           std::size_t pieces, ExecOptions options)
+    : world_(world),
+      plan_(plan),
+      pieces_(pieces),
+      options_(options),
+      evaluator_(world, pieces),
+      pool_(options.threads) {
+  DPART_CHECK(pieces_ > 0, "need at least one piece");
+}
+
+void PlanExecutor::bindExternal(const std::string& name,
+                                Partition partition) {
+  DPART_CHECK(!prepared_, "bindExternal() must precede preparePartitions()");
+  evaluator_.bind(name, std::move(partition));
+}
+
+void PlanExecutor::preparePartitions() {
+  if (prepared_) return;
+  for (const std::string& ext : plan_.externalSymbols) {
+    DPART_CHECK(evaluator_.has(ext),
+                "external partition '" + ext + "' was not bound");
+  }
+  evaluator_.run(plan_.dpl);
+  prepared_ = true;
+}
+
+const std::map<std::string, Partition>& PlanExecutor::partitions() const {
+  DPART_CHECK(prepared_, "partitions not prepared");
+  return evaluator_.env();
+}
+
+const Partition& PlanExecutor::partition(const std::string& name) const {
+  DPART_CHECK(prepared_, "partitions not prepared");
+  return evaluator_.partition(name);
+}
+
+namespace {
+
+// Per-task execution hooks implementing the plan's reduction strategies and
+// (optionally) access validation.
+class TaskHooks final : public ir::ExecHooks {
+ public:
+  struct ReduceState {
+    ReduceStrategy strategy = ReduceStrategy::Direct;
+    const IndexSet* guard = nullptr;    // Guarded: task's reduction subregion
+    const IndexSet* privSet = nullptr;  // PrivateSplit: private subregion
+    std::unordered_map<Index, double> buffer;
+    ir::ReduceOp op = ir::ReduceOp::Sum;
+  };
+
+  TaskHooks(const parallelize::PlannedLoop& loop, std::size_t piece,
+            const std::map<std::string, Partition>& env, bool validate,
+            const IndexSet* ownership)
+      : loop_(loop), piece_(piece), env_(env), validate_(validate),
+        ownership_(ownership) {
+    for (const auto& [stmtId, rp] : loop.reduces) {
+      ReduceState st;
+      st.strategy = rp.strategy;
+      if (rp.strategy == ReduceStrategy::Guarded) {
+        st.guard = &env.at(rp.partition).sub(piece);
+      } else if (rp.strategy == ReduceStrategy::PrivateSplit) {
+        st.privSet = &env.at(rp.privatePart).sub(piece);
+      }
+      reduces_.emplace(stmtId, std::move(st));
+    }
+  }
+
+  void onAccess(const ir::Stmt& stmt, Index target) override {
+    if (!validate_) return;
+    auto it = loop_.accessPartition.find(stmt.id);
+    DPART_CHECK(it != loop_.accessPartition.end(),
+                "access with no assigned partition: " + stmt.toString());
+    const IndexSet& sub = env_.at(it->second).sub(piece_);
+    // Guarded reductions may compute targets outside the task's subregion;
+    // the guard rejects them before any memory access, so only *applied*
+    // accesses are checked (handled in handleReduce).
+    auto rit = reduces_.find(stmt.id);
+    if (rit != reduces_.end() &&
+        (rit->second.strategy == ReduceStrategy::Guarded)) {
+      return;
+    }
+    DPART_CHECK(sub.contains(target),
+                "illegal access: " + stmt.toString() + " touches index " +
+                    std::to_string(target) + " outside subregion " +
+                    std::to_string(piece_) + " of " + it->second);
+  }
+
+  bool shouldWrite(const ir::Stmt&, Index target) override {
+    return ownership_ == nullptr || ownership_->contains(target);
+  }
+
+  bool handleReduce(const ir::Stmt& stmt, Index target,
+                    double value) override {
+    auto it = reduces_.find(stmt.id);
+    if (it == reduces_.end()) {
+      // Centered reduction: ownership-guarded under aliased iteration.
+      if (ownership_ != nullptr && !ownership_->contains(target)) {
+        return true;  // another task owns this duplicated iteration
+      }
+      return false;
+    }
+    ReduceState& st = it->second;
+    st.op = stmt.op;
+    switch (st.strategy) {
+      case ReduceStrategy::Direct:
+        return false;
+      case ReduceStrategy::Guarded:
+        return !st.guard->contains(target);  // skip if not ours
+      case ReduceStrategy::Buffered:
+        break;
+      case ReduceStrategy::PrivateSplit:
+        if (st.privSet->contains(target)) return false;
+        break;
+    }
+    auto [slot, inserted] =
+        st.buffer.try_emplace(target, ir::reduceIdentity(stmt.op));
+    slot->second = ir::applyReduce(stmt.op, slot->second, value);
+    return true;
+  }
+
+  std::map<int, ReduceState>& reduces() { return reduces_; }
+
+ private:
+  const parallelize::PlannedLoop& loop_;
+  std::size_t piece_;
+  const std::map<std::string, Partition>& env_;
+  bool validate_;
+  const IndexSet* ownership_;
+  std::map<int, ReduceState> reduces_;
+};
+
+// Builds a first-claim disjointification of an aliased partition: index i is
+// owned by the lowest-numbered subregion containing it.
+std::vector<IndexSet> disjointify(const Partition& p) {
+  std::vector<IndexSet> owned;
+  owned.reserve(p.count());
+  IndexSet claimed;
+  for (std::size_t j = 0; j < p.count(); ++j) {
+    owned.push_back(p.sub(j).subtract(claimed));
+    claimed = claimed.unionWith(p.sub(j));
+  }
+  return owned;
+}
+
+}  // namespace
+
+void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
+  preparePartitions();
+  const Partition& iter = partition(loop.iterPartition);
+  DPART_CHECK(iter.count() == pieces_,
+              "iteration partition piece count mismatch");
+
+  // Ownership guards are only needed when duplicated iterations could apply
+  // a centered write/reduction twice.
+  bool hasCenteredWrite = false;
+  loop.loop->forEachStmt([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::StoreF64 ||
+        (s.kind == ir::StmtKind::ReduceF64 && !loop.reduces.contains(s.id))) {
+      hasCenteredWrite = true;
+    }
+  });
+  std::vector<IndexSet> ownership;
+  const bool needOwnership = hasCenteredWrite && !iter.isDisjoint();
+  if (needOwnership) ownership = disjointify(iter);
+
+  ir::LoopRunner runner(world_, *loop.loop);
+  std::vector<std::unique_ptr<TaskHooks>> hooks(pieces_);
+  const auto& env = partitions();
+  pool_.parallelFor(pieces_, [&](std::size_t j) {
+    hooks[j] = std::make_unique<TaskHooks>(
+        loop, j, env, options_.validateAccesses,
+        needOwnership ? &ownership[j] : nullptr);
+    runner.run(iter.sub(j), hooks[j].get());
+  });
+
+  // Merge reduction buffers in task order (deterministic).
+  for (std::size_t j = 0; j < pieces_; ++j) {
+    for (auto& [stmtId, st] : hooks[j]->reduces()) {
+      if (st.buffer.empty()) continue;
+      const ir::Stmt* stmt = nullptr;
+      loop.loop->forEachStmt([&](const ir::Stmt& s) {
+        if (s.id == stmtId) stmt = &s;
+      });
+      DPART_CHECK(stmt != nullptr);
+      auto field = world_.region(stmt->region).f64(stmt->field);
+      // Sort for determinism across unordered_map iteration orders.
+      std::vector<std::pair<Index, double>> entries(st.buffer.begin(),
+                                                    st.buffer.end());
+      std::sort(entries.begin(), entries.end());
+      for (const auto& [target, value] : entries) {
+        double& cell = field[static_cast<std::size_t>(target)];
+        cell = ir::applyReduce(st.op, cell, value);
+      }
+      bufferedElements_ += entries.size();
+    }
+  }
+}
+
+void PlanExecutor::run() {
+  preparePartitions();
+  for (const parallelize::PlannedLoop& loop : plan_.loops) {
+    runLoop(loop);
+  }
+}
+
+}  // namespace dpart::runtime

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "dpl/evaluator.hpp"
+#include "ir/interp.hpp"
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dpart::runtime {
+
+struct ExecOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Check every region access against the subregion its statement was
+  /// assigned — the dynamic partition-legality check used by the tests.
+  bool validateAccesses = false;
+};
+
+/// Executes a ParallelPlan: evaluates its DPL program to concrete
+/// partitions, then runs each planned loop as `pieces` tasks on a thread
+/// pool, honoring the plan's reduction strategies:
+///
+///  - Direct reductions apply in place (target partition disjoint);
+///  - Guarded reductions (relaxed loops, Sec. 5.1) apply only when the
+///    target lies in the task's reduction subregion;
+///  - Buffered reductions accumulate into a per-task buffer merged after
+///    the loop (the Legion reduction-instance mechanism);
+///  - PrivateSplit reductions apply in place inside the private
+///    sub-partition (Thm. 5.1) and buffer only the shared remainder.
+///
+/// Centered writes and centered reductions are ownership-guarded when the
+/// iteration partition is aliased, so duplicated iterations (relaxation)
+/// stay race-free and apply exactly once.
+class PlanExecutor {
+ public:
+  PlanExecutor(region::World& world, const parallelize::ParallelPlan& plan,
+               std::size_t pieces, ExecOptions options = {});
+
+  /// Binds an externally constructed partition (Section 3.3) before
+  /// preparePartitions().
+  void bindExternal(const std::string& name, region::Partition partition);
+
+  /// Evaluates the plan's DPL program. Called automatically by run() if
+  /// needed; exposed so tests and benchmarks can inspect partitions.
+  void preparePartitions();
+
+  /// Runs all planned loops once, in program order.
+  void run();
+
+  /// Runs one planned loop (partitions must be prepared).
+  void runLoop(const parallelize::PlannedLoop& loop);
+
+  [[nodiscard]] const std::map<std::string, region::Partition>& partitions()
+      const;
+  [[nodiscard]] const region::Partition& partition(
+      const std::string& name) const;
+  [[nodiscard]] std::size_t pieces() const { return pieces_; }
+
+  /// Total elements accumulated through reduction buffers so far (tests and
+  /// benchmarks use this to verify the Section 5 optimizations actually
+  /// eliminate buffer traffic).
+  [[nodiscard]] std::size_t bufferedElements() const {
+    return bufferedElements_;
+  }
+
+ private:
+  region::World& world_;
+  const parallelize::ParallelPlan& plan_;
+  std::size_t pieces_;
+  ExecOptions options_;
+  dpl::Evaluator evaluator_;
+  bool prepared_ = false;
+  ThreadPool pool_;
+  std::size_t bufferedElements_ = 0;
+};
+
+}  // namespace dpart::runtime

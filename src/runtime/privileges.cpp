@@ -1,0 +1,93 @@
+#include "runtime/privileges.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart::runtime {
+
+const char* toString(Privilege p) {
+  switch (p) {
+    case Privilege::ReadOnly:
+      return "RO";
+    case Privilege::ReadWrite:
+      return "RW";
+    case Privilege::Reduce:
+      return "RD";
+  }
+  DPART_UNREACHABLE("bad Privilege");
+}
+
+std::string RegionRequirement::toString() const {
+  return partition + " (" + region + "." + field + ", " +
+         runtime::toString(privilege) + ")";
+}
+
+std::vector<RegionRequirement> requirementsOf(
+    const parallelize::PlannedLoop& loop) {
+  // Key: region.field.partition -> strongest privilege.
+  std::map<std::string, RegionRequirement> merged;
+  loop.loop->forEachStmt([&](const ir::Stmt& s) {
+    Privilege priv;
+    switch (s.kind) {
+      case ir::StmtKind::LoadF64:
+      case ir::StmtKind::LoadIdx:
+      case ir::StmtKind::LoadRange:
+        priv = Privilege::ReadOnly;
+        break;
+      case ir::StmtKind::StoreF64:
+        priv = Privilege::ReadWrite;
+        break;
+      case ir::StmtKind::ReduceF64:
+        priv = loop.reduces.contains(s.id) ? Privilege::Reduce
+                                           : Privilege::ReadWrite;
+        break;
+      default:
+        return;
+    }
+    auto it = loop.accessPartition.find(s.id);
+    DPART_CHECK(it != loop.accessPartition.end(),
+                "no partition assigned to stmt of " + loop.loop->name);
+    const std::string key = s.region + "." + s.field + "." + it->second;
+    auto [slot, inserted] = merged.try_emplace(
+        key, RegionRequirement{it->second, s.region, s.field, priv});
+    if (!inserted) {
+      // RW dominates Reduce dominates RO.
+      if (priv == Privilege::ReadWrite ||
+          (priv == Privilege::Reduce &&
+           slot->second.privilege == Privilege::ReadOnly)) {
+        slot->second.privilege = priv;
+      }
+    }
+  });
+  std::vector<RegionRequirement> out;
+  out.reserve(merged.size());
+  for (auto& [_, req] : merged) out.push_back(std::move(req));
+  return out;
+}
+
+bool nonInterfering(
+    const std::vector<RegionRequirement>& reqs,
+    const std::map<std::string, region::Partition>& partitions,
+    std::size_t ia, std::size_t ib) {
+  if (ia == ib) return true;
+  for (const RegionRequirement& a : reqs) {
+    for (const RegionRequirement& b : reqs) {
+      if (a.region != b.region || a.field != b.field) continue;
+      if (a.privilege == Privilege::ReadOnly &&
+          b.privilege == Privilege::ReadOnly) {
+        continue;
+      }
+      if (a.privilege == Privilege::Reduce &&
+          b.privilege == Privilege::Reduce) {
+        continue;  // same-operator reductions commute
+      }
+      auto pa = partitions.find(a.partition);
+      auto pb = partitions.find(b.partition);
+      DPART_CHECK(pa != partitions.end() && pb != partitions.end(),
+                  "unevaluated partition in requirement");
+      if (pa->second.sub(ia).intersects(pb->second.sub(ib))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dpart::runtime

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+
+namespace dpart::runtime {
+
+/// Access privilege a task requests on a (partition, field) pair — the
+/// Legion-style region requirement our runtime checks non-interference with.
+enum class Privilege { ReadOnly, ReadWrite, Reduce };
+
+const char* toString(Privilege p);
+
+struct RegionRequirement {
+  std::string partition;  ///< partition symbol the task indexes with
+  std::string region;
+  std::string field;
+  Privilege privilege{};
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Derives the region requirements of one planned loop (one entry per
+/// accessed field, with the strongest privilege requested on it).
+std::vector<RegionRequirement> requirementsOf(
+    const parallelize::PlannedLoop& loop);
+
+/// Checks that two tasks (subregion indices ia, ib of the same loop launch)
+/// cannot interfere: for every pair of requirements on the same region and
+/// field, either both are reads, both are reductions, or their actual
+/// subregions are disjoint. This is the noninterference condition Legion
+/// enforces dynamically; the tests run it against the partitions the solver
+/// synthesized.
+bool nonInterfering(const std::vector<RegionRequirement>& reqs,
+                    const std::map<std::string, region::Partition>& partitions,
+                    std::size_t ia, std::size_t ib);
+
+}  // namespace dpart::runtime

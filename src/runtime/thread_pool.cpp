@@ -1,0 +1,86 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dpart::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::workerMain() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stop_ || next_ < jobSize_; });
+    if (stop_) return;
+    while (next_ < jobSize_) {
+      const std::size_t idx = next_++;
+      ++inFlight_;
+      lock.unlock();
+      try {
+        (*job_)(idx);
+      } catch (...) {
+        lock.lock();
+        if (!error_) error_ = std::current_exception();
+        --inFlight_;
+        continue;
+      }
+      lock.lock();
+      --inFlight_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  std::unique_lock lock(mutex_);
+  job_ = &fn;
+  jobSize_ = n;
+  next_ = 0;
+  error_ = nullptr;
+  wake_.notify_all();
+  // The caller participates too, so parallelFor works even on a pool whose
+  // workers are busy elsewhere (not possible here, but cheap insurance).
+  while (next_ < jobSize_) {
+    const std::size_t idx = next_++;
+    ++inFlight_;
+    lock.unlock();
+    try {
+      fn(idx);
+    } catch (...) {
+      lock.lock();
+      if (!error_) error_ = std::current_exception();
+      --inFlight_;
+      continue;
+    }
+    lock.lock();
+    --inFlight_;
+  }
+  done_.wait(lock, [this] { return inFlight_ == 0 && next_ >= jobSize_; });
+  job_ = nullptr;
+  jobSize_ = 0;
+  if (error_) {
+    std::exception_ptr err = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace dpart::runtime

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::sim {
+
+/// Hardware model of one cluster node and its NIC. One configuration is
+/// shared by all five weak-scaling figures (see DESIGN.md §5): the
+/// simulator derives *volumes* from the actual partitions and only the
+/// rates below are parameters.
+struct MachineConfig {
+  /// Statement-visits per second per node (GPU-ish throughput).
+  double elemRate = 2e9;
+  /// NIC bandwidth in bytes/s.
+  double bandwidth = 9.0e9;
+  /// Per-message latency in seconds (ghost exchange with one peer).
+  double latency = 1.5e-6;
+  /// Cost per non-contiguous run in a transferred index set — the
+  /// "sparsity patterns inefficiently handled by the runtime" of Section
+  /// 6.5.
+  double perRunCost = 120e-9;
+  /// Cost per non-contiguous run in subregions *computed over* (gather/
+  /// scatter kernel overhead; Section 6.3's non-contiguous face indexing).
+  double computePerRunCost = 60e-9;
+  /// Bytes per region element per field.
+  double bytesPerElem = 8;
+  /// Dependence-analysis overhead per (subregion x derivation-depth) at
+  /// every loop launch: deeply derived partition trees are more expensive
+  /// for the runtime to analyze (Section 6.5's Hint1 plateau).
+  double launchCostPerPieceDepth = 4e-9;
+};
+
+/// Per-task cost breakdown of one simulated loop launch.
+struct TaskCost {
+  double computeSeconds = 0;
+  double commSeconds = 0;
+  std::int64_t ghostElems = 0;
+  std::int64_t bufferedElems = 0;
+  int messages = 0;
+  std::int64_t runs = 0;
+};
+
+struct LoopSimResult {
+  double seconds = 0;        ///< bulk-synchronous: max over tasks + launch
+  double launchSeconds = 0;  ///< dependence-analysis share
+  TaskCost worst;            ///< the critical task
+  std::int64_t totalGhostElems = 0;
+  std::int64_t totalBufferedElems = 0;
+};
+
+/// Distributed-memory cost model driven by concrete partitions.
+///
+/// Tasks map 1:1 onto nodes. For every loop launch the model computes, per
+/// task: compute work (statement visits over the actual iteration
+/// subregion, including data-dependent inner-loop trip counts read from the
+/// Range fields), ghost traffic (elements of each accessed subregion not
+/// owned by the task under the region's owner partition), message counts
+/// (distinct peer owners), fragmentation (run counts), and
+/// reduction-buffer merge traffic per the plan's reduction strategies.
+class ClusterSim {
+ public:
+  ClusterSim(const region::World& world, MachineConfig config)
+      : world_(world), config_(config) {}
+
+  /// Declares which partition owns (places) a region's data. Regions
+  /// without owners are assumed replicated (no ghost traffic) — appropriate
+  /// only for small read-only data.
+  void setOwner(const std::string& regionName, std::string partitionName);
+
+  [[nodiscard]] LoopSimResult simulateLoop(
+      const parallelize::PlannedLoop& loop,
+      const std::map<std::string, region::Partition>& partitions,
+      const std::map<std::string, int>& partitionDepth) const;
+
+  /// Simulates one execution of every loop in the plan (one "time step").
+  [[nodiscard]] double simulateStep(
+      const parallelize::ParallelPlan& plan,
+      const std::map<std::string, region::Partition>& partitions) const;
+
+  /// Cumulative derivation depth of each partition symbol defined by a DPL
+  /// program (aliases share their target's depth).
+  static std::map<std::string, int> depthsOf(const dpl::Program& program);
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+ private:
+  const region::World& world_;
+  MachineConfig config_;
+  std::map<std::string, std::string> owners_;
+};
+
+}  // namespace dpart::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dpart {
+
+/// Error thrown on violated preconditions or internal invariants.
+///
+/// The library throws rather than aborting so that tests can assert on
+/// failure modes and embedding applications can recover.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dpart
+
+/// Precondition / invariant check; always on (the checks guard partition
+/// legality, which is the whole point of the library).
+#define DPART_CHECK(cond, ...)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dpart::detail::failCheck(#cond, __FILE__, __LINE__,                \
+                                 ::std::string{__VA_ARGS__});              \
+    }                                                                      \
+  } while (false)
+
+#define DPART_UNREACHABLE(msg)                                             \
+  ::dpart::detail::failCheck("unreachable", __FILE__, __LINE__,            \
+                             ::std::string{msg})

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include "apps/circuit.hpp"
+#include "apps/miniaero.hpp"
+#include "apps/pennant.hpp"
+#include "apps/spmv.hpp"
+#include "apps/stencil.hpp"
+#include "ir/interp.hpp"
+#include "runtime/executor.hpp"
+#include "sim/cluster.hpp"
+
+namespace dpart::apps {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+// Runs `steps` serial iterations of an app program on a freshly built world
+// and returns the field values to compare against.
+template <typename App, typename... Args>
+std::vector<double> serialField(int steps, const std::string& regionName,
+                                const std::string& field, Args&&... args) {
+  App app(std::forward<Args>(args)...);
+  for (int s = 0; s < steps; ++s) {
+    ir::runSerial(app.world(), app.program());
+  }
+  auto col = app.world().region(regionName).f64(field);
+  return {col.begin(), col.end()};
+}
+
+void expectNear(const std::vector<double>& want, std::span<const double> got,
+                const std::string& what) {
+  ASSERT_EQ(want.size(), got.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_NEAR(want[i], got[i], kTol * (1.0 + std::abs(want[i])))
+        << what << "[" << i << "]";
+  }
+}
+
+// ---- SpMV ----
+
+TEST(SpmvApp, AutoExecutionMatchesSerial) {
+  SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  auto want = serialField<SpmvApp>(1, "Y", "val", p);
+
+  SpmvApp app(p);
+  SimSetup setup = app.autoSetup();
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+  exec.run();
+  expectNear(want, app.world().region("Y").f64("val"), "Y.val");
+  EXPECT_EQ(exec.bufferedElements(), 0u);  // centered reduction only
+}
+
+TEST(SpmvApp, SynthesizedPartitionsAlignWithRows) {
+  SpmvApp::Params p;
+  p.rowsPerPiece = 32;
+  p.pieces = 4;
+  SpmvApp app(p);
+  SimSetup setup = app.autoSetup();
+  const auto& iter = setup.partitions.at(setup.plan.loops[0].iterPartition);
+  EXPECT_TRUE(iter.isDisjoint());
+  EXPECT_TRUE(iter.isComplete(app.rows()));
+  // Mat partition is the flattened IMAGE of the row ranges: disjoint and
+  // complete too (CSR rows tile the nonzeros).
+  const auto& mat = setup.partitions.at(setup.owners.at("Mat"));
+  EXPECT_TRUE(mat.isDisjoint());
+  EXPECT_TRUE(mat.isComplete(app.rows() * p.nnzPerRow));
+  EXPECT_EQ(mat.maxRunCount(), 1u);
+}
+
+// ---- Stencil ----
+
+TEST(StencilApp, AutoExecutionMatchesSerial) {
+  StencilApp::Params p;
+  p.rowsPerPiece = 16;
+  p.cols = 24;
+  p.pieces = 4;
+  auto want = serialField<StencilApp>(2, "Grid", "in", p);
+
+  StencilApp app(p);
+  SimSetup setup = app.autoSetup();
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+  exec.run();
+  exec.run();
+  expectNear(want, app.world().region("Grid").f64("in"), "Grid.in");
+}
+
+TEST(StencilApp, ManualExecutionMatchesSerial) {
+  StencilApp::Params p;
+  p.rowsPerPiece = 16;
+  p.cols = 24;
+  p.pieces = 4;
+  auto want = serialField<StencilApp>(2, "Grid", "in", p);
+
+  StencilApp app(p);
+  SimSetup setup = app.manualSetup();
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+  exec.run();
+  exec.run();
+  expectNear(want, app.world().region("Grid").f64("in"), "Grid.in");
+}
+
+TEST(StencilApp, ManualConsolidatesTransfers) {
+  StencilApp::Params p;
+  p.rowsPerPiece = 16;
+  p.cols = 16;
+  p.pieces = 4;
+  StencilApp app(p);
+  SimSetup autoSetup = app.autoSetup();
+  StencilApp app2(p);
+  SimSetup manualSetup = app2.manualSetup();
+
+  sim::MachineConfig cfg;
+  sim::ClusterSim simAuto(app.world(), cfg);
+  for (const auto& [r, o] : autoSetup.owners) simAuto.setOwner(r, o);
+  sim::ClusterSim simMan(app2.world(), cfg);
+  for (const auto& [r, o] : manualSetup.owners) simMan.setOwner(r, o);
+
+  const auto depthsA = sim::ClusterSim::depthsOf(autoSetup.plan.dpl);
+  const auto depthsM = sim::ClusterSim::depthsOf(manualSetup.plan.dpl);
+  auto ra = simAuto.simulateLoop(autoSetup.plan.loops[0],
+                                 autoSetup.partitions, depthsA);
+  auto rm = simMan.simulateLoop(manualSetup.plan.loops[0],
+                                manualSetup.partitions, depthsM);
+  // Manual's consolidated halos move fewer messages and do not re-send the
+  // row that the +/-1 and +/-2 image partitions both cover.
+  EXPECT_GT(ra.worst.messages, rm.worst.messages);
+  EXPECT_GT(ra.totalGhostElems, rm.totalGhostElems);
+}
+
+// ---- MiniAero ----
+
+TEST(MiniAeroApp, Has26LoopsAndRelaxesFaceLoops) {
+  MiniAeroApp::Params p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nzPerPiece = 4;
+  p.pieces = 2;
+  MiniAeroApp app(p);
+  EXPECT_EQ(app.program().loops.size(), 26u);
+  SimSetup setup = app.autoSetup();
+  int relaxed = 0;
+  for (const auto& pl : setup.plan.loops) {
+    if (pl.relaxed) {
+      ++relaxed;
+      for (const auto& [_, rp] : pl.reduces) {
+        EXPECT_EQ(rp.strategy, optimize::ReduceStrategy::Guarded);
+      }
+    }
+  }
+  EXPECT_EQ(relaxed, 12);  // 3 face loops x 4 stages
+}
+
+TEST(MiniAeroApp, AutoExecutionMatchesSerial) {
+  MiniAeroApp::Params p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nzPerPiece = 3;
+  p.pieces = 3;
+  auto want = serialField<MiniAeroApp>(1, "cells", "q", p);
+
+  MiniAeroApp app(p);
+  SimSetup setup = app.autoSetup();
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+  exec.run();
+  expectNear(want, app.world().region("cells").f64("q"), "cells.q");
+  EXPECT_EQ(exec.bufferedElements(), 0u);  // relaxation removed all buffers
+}
+
+TEST(MiniAeroApp, ManualMeshIsContiguousPerPiece) {
+  MiniAeroApp::Params p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nzPerPiece = 4;
+  p.pieces = 2;
+  MiniAeroApp manual(p, /*duplicatedFaces=*/true);
+  SimSetup setup = manual.manualSetup();
+  const auto& pf = setup.partitions.at("pf");
+  EXPECT_EQ(pf.maxRunCount(), 1u);
+
+  MiniAeroApp autoApp(p);
+  SimSetup autoSetup = autoApp.autoSetup();
+  // The relaxed face iteration partition is aliased across slab borders and
+  // fragmented (one chunk per face-direction group).
+  bool sawFragmented = false;
+  for (const auto& pl : autoSetup.plan.loops) {
+    if (!pl.relaxed) continue;
+    const auto& part = autoSetup.partitions.at(pl.iterPartition);
+    if (part.maxRunCount() > 1) sawFragmented = true;
+  }
+  EXPECT_TRUE(sawFragmented);
+}
+
+// ---- Circuit ----
+
+TEST(CircuitApp, AutoAndHintExecutionsMatchSerial) {
+  CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 128;
+  p.wiresPerCluster = 256;
+  auto want = serialField<CircuitApp>(2, "rn", "voltage", p);
+
+  {
+    CircuitApp app(p);
+    SimSetup setup = app.autoSetup();
+    runtime::ExecOptions opts;
+    opts.validateAccesses = true;
+    runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+    exec.run();
+    exec.run();
+    expectNear(want, app.world().region("rn").f64("voltage"), "auto voltage");
+  }
+  {
+    CircuitApp app(p);
+    SimSetup setup = app.hintSetup();
+    runtime::ExecOptions opts;
+    opts.validateAccesses = true;
+    runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+    exec.bindExternal("pn_private", app.pnPrivate());
+    exec.bindExternal("pn_shared", app.pnShared());
+    exec.run();
+    exec.run();
+    expectNear(want, app.world().region("rn").f64("voltage"), "hint voltage");
+  }
+}
+
+TEST(CircuitApp, ManualExecutionMatchesSerial) {
+  CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 128;
+  p.wiresPerCluster = 256;
+  auto want = serialField<CircuitApp>(2, "rn", "voltage", p);
+
+  CircuitApp app(p);
+  SimSetup setup = app.manualSetup();
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+  for (const auto& [name, part] : setup.partitions) {
+    if (setup.plan.externalSymbols.contains(name)) {
+      exec.bindExternal(name, part);
+    }
+  }
+  exec.run();
+  exec.run();
+  expectNear(want, app.world().region("rn").f64("voltage"), "manual voltage");
+}
+
+TEST(CircuitApp, HintUsesUserPartitionsAndTightBuffers) {
+  CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 256;
+  p.wiresPerCluster = 512;
+  CircuitApp app(p);
+  SimSetup hint = app.hintSetup();
+  // Node-loop iteration partition is the user union, not equal(rn).
+  const auto& nodeIter =
+      hint.partitions.at(hint.plan.loops[2].iterPartition);
+  EXPECT_TRUE(nodeIter.isDisjoint());
+  EXPECT_TRUE(nodeIter.isComplete(app.totalNodes()));
+  EXPECT_NE(hint.plan.dpl.toString().find("pn_private"), std::string::npos);
+
+  // distribute_charge reductions use private sub-partitions.
+  for (const auto& [_, rp] : hint.plan.loops[1].reduces) {
+    EXPECT_EQ(rp.strategy, optimize::ReduceStrategy::PrivateSplit);
+  }
+
+  // The Auto configuration places all shared nodes in subregion 0 of
+  // equal(rn).
+  CircuitApp app2(p);
+  SimSetup autoSetup = app2.autoSetup();
+  const auto& owner = autoSetup.partitions.at(autoSetup.owners.at("rn"));
+  EXPECT_TRUE(owner.sub(0).containsAll(
+      region::IndexSet::interval(0, app2.sharedNodes())));
+}
+
+// ---- PENNANT ----
+
+TEST(PennantApp, Has37Loops) {
+  PennantApp::Params p;
+  p.zx = 4;
+  p.zyPerPiece = 4;
+  p.pieces = 2;
+  PennantApp app(p);
+  EXPECT_EQ(app.program().loops.size(), 37u);
+}
+
+TEST(PennantApp, AllVariantsMatchSerial) {
+  PennantApp::Params p;
+  p.zx = 6;
+  p.zyPerPiece = 4;
+  p.pieces = 3;
+  auto want = serialField<PennantApp>(1, "rp", "pu", p);
+  auto wantE = serialField<PennantApp>(1, "rz", "ze", p);
+
+  auto checkVariant = [&](const char* name, auto makeSetup) {
+    PennantApp app(p);
+    SimSetup setup = makeSetup(app);
+    runtime::ExecOptions opts;
+    opts.validateAccesses = true;
+    runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces, opts);
+    for (const auto& [pname, part] : setup.partitions) {
+      if (setup.plan.externalSymbols.contains(pname)) {
+        exec.bindExternal(pname, part);
+      }
+    }
+    exec.run();
+    expectNear(want, app.world().region("rp").f64("pu"),
+               std::string(name) + " rp.pu");
+    expectNear(wantE, app.world().region("rz").f64("ze"),
+               std::string(name) + " rz.ze");
+  };
+  checkVariant("auto", [](PennantApp& a) { return a.autoSetup(); });
+  checkVariant("hint1", [](PennantApp& a) { return a.hint1Setup(); });
+  checkVariant("hint2", [](PennantApp& a) { return a.hint2Setup(); });
+  checkVariant("manual", [](PennantApp& a) { return a.manualSetup(); });
+}
+
+TEST(PennantApp, Hint2ReusesGeneratorPartitions) {
+  PennantApp::Params p;
+  p.zx = 6;
+  p.zyPerPiece = 4;
+  p.pieces = 4;
+  PennantApp app(p);
+  SimSetup setup = app.hint2Setup();
+  // Side loops iterate directly on rs_p.
+  bool sideOnRsP = false;
+  for (const auto& pl : setup.plan.loops) {
+    if (pl.loop->iterRegion == "rs" && pl.iterPartition == "rs_p") {
+      sideOnRsP = true;
+    }
+  }
+  EXPECT_TRUE(sideOnRsP);
+  // Point reductions use the user-provided private sub-partition.
+  bool usedExternalPrivate = false;
+  for (const auto& pl : setup.plan.loops) {
+    for (const auto& [_, rp] : pl.reduces) {
+      if (rp.privatePart == "rp_p_private") usedExternalPrivate = true;
+    }
+  }
+  EXPECT_TRUE(usedExternalPrivate);
+}
+
+TEST(PennantApp, DerivationDepthDropsFromHint1ToHint2) {
+  PennantApp::Params p;
+  p.zx = 6;
+  p.zyPerPiece = 4;
+  p.pieces = 4;
+  PennantApp a1(p), a2(p);
+  SimSetup h1 = a1.hint1Setup();
+  SimSetup h2 = a2.hint2Setup();
+  auto maxDepth = [](const parallelize::ParallelPlan& plan) {
+    int m = 0;
+    for (const auto& [_, d] : sim::ClusterSim::depthsOf(plan.dpl)) {
+      m = std::max(m, d);
+    }
+    return m;
+  };
+  EXPECT_GT(maxDepth(h1.plan), maxDepth(h2.plan));
+}
+
+}  // namespace
+}  // namespace dpart::apps

@@ -1,0 +1,148 @@
+// Cross-component consistency checks:
+//  - the cluster simulator's reduction-buffer accounting is an upper bound
+//    on what the executor actually buffers (the simulator charges subregion
+//    extents; the executor counts touched elements);
+//  - every app plan satisfies Legion-style non-interference between every
+//    pair of tasks under the partitions the solver synthesized;
+//  - degenerate inputs (empty programs, one-element regions) stay sane.
+
+#include <gtest/gtest.h>
+
+#include "apps/circuit.hpp"
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/privileges.hpp"
+#include "sim/cluster.hpp"
+
+namespace dpart {
+namespace {
+
+TEST(Consistency, SimBufferAccountingBoundsExecutor) {
+  apps::CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 512;
+  p.wiresPerCluster = 1024;
+  apps::CircuitApp app(p);
+  apps::SimSetup setup = app.hintSetup();
+
+  sim::ClusterSim csim(app.world(), sim::MachineConfig{});
+  for (const auto& [r, o] : setup.owners) csim.setOwner(r, o);
+  auto depths = sim::ClusterSim::depthsOf(setup.plan.dpl);
+  std::int64_t simBuffered = 0;
+  for (const auto& pl : setup.plan.loops) {
+    simBuffered +=
+        csim.simulateLoop(pl, setup.partitions, depths).totalBufferedElems;
+  }
+
+  runtime::PlanExecutor exec(app.world(), setup.plan, p.pieces);
+  exec.bindExternal("pn_private", app.pnPrivate());
+  exec.bindExternal("pn_shared", app.pnShared());
+  exec.run();
+
+  EXPECT_GE(static_cast<std::uint64_t>(simBuffered),
+            exec.bufferedElements());
+  // And the private sub-partitions actually bite: far less is buffered
+  // than the reduction partitions' total extent.
+  std::int64_t fullExtent = 0;
+  for (const auto& pl : setup.plan.loops) {
+    for (const auto& [_, rp] : pl.reduces) {
+      fullExtent += setup.partitions.at(rp.partition).totalElements();
+    }
+  }
+  EXPECT_LT(simBuffered, fullExtent / 4);
+}
+
+// Non-interference (the condition Legion enforces dynamically) holds for
+// every task pair of every loop of every app plan.
+template <typename App, typename MakeSetup>
+void checkNonInterference(App& app, MakeSetup makeSetup, std::size_t pieces) {
+  apps::SimSetup setup = makeSetup(app);
+  for (const auto& pl : setup.plan.loops) {
+    auto reqs = runtime::requirementsOf(pl);
+    for (std::size_t a = 0; a < pieces; ++a) {
+      for (std::size_t b = a + 1; b < pieces; ++b) {
+        ASSERT_TRUE(runtime::nonInterfering(reqs, setup.partitions, a, b))
+            << pl.loop->name << " tasks " << a << "/" << b;
+      }
+    }
+  }
+}
+
+TEST(Consistency, StencilPlansAreNonInterfering) {
+  apps::StencilApp::Params p;
+  p.rowsPerPiece = 16;
+  p.cols = 32;
+  p.pieces = 4;
+  apps::StencilApp app(p);
+  checkNonInterference(app, [](auto& a) { return a.autoSetup(); }, 4);
+  apps::StencilApp app2(p);
+  checkNonInterference(app2, [](auto& a) { return a.manualSetup(); }, 4);
+}
+
+TEST(Consistency, CircuitPlansAreNonInterfering) {
+  apps::CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 256;
+  p.wiresPerCluster = 512;
+  apps::CircuitApp app(p);
+  checkNonInterference(app, [](auto& a) { return a.autoSetup(); }, 4);
+  apps::CircuitApp app2(p);
+  checkNonInterference(app2, [](auto& a) { return a.hintSetup(); }, 4);
+}
+
+TEST(Consistency, PennantPlansAreNonInterfering) {
+  apps::PennantApp::Params p;
+  p.zx = 6;
+  p.zyPerPiece = 4;
+  p.pieces = 4;
+  apps::PennantApp app(p);
+  checkNonInterference(app, [](auto& a) { return a.autoSetup(); }, 4);
+  apps::PennantApp app2(p);
+  checkNonInterference(app2, [](auto& a) { return a.hint2Setup(); }, 4);
+}
+
+TEST(Consistency, EmptyProgramYieldsEmptyPlan) {
+  region::World world;
+  world.addRegion("R", 4).addField("a", region::FieldType::F64);
+  parallelize::AutoParallelizer ap(world);
+  parallelize::ParallelPlan plan = ap.plan(ir::Program{"empty", {}});
+  EXPECT_TRUE(plan.dpl.empty());
+  EXPECT_TRUE(plan.loops.empty());
+  runtime::PlanExecutor exec(world, plan, 2);
+  exec.run();  // no-op, no throw
+}
+
+TEST(Consistency, OneElementRegions) {
+  region::World world;
+  world.addRegion("R", 1).addField("a", region::FieldType::F64);
+  world.region("R").addField("b", region::FieldType::F64);
+  world.region("R").f64("a")[0] = 3.0;
+  ir::Program prog;
+  ir::LoopBuilder b("tiny", "i", "R");
+  b.loadF64("x", "R", "a", "i");
+  b.store("R", "b", "i", "x");
+  prog.loops.push_back(b.build());
+  parallelize::AutoParallelizer ap(world);
+  parallelize::ParallelPlan plan = ap.plan(prog);
+  runtime::PlanExecutor exec(world, plan, 4);  // more pieces than elements
+  exec.run();
+  EXPECT_EQ(world.region("R").f64("b")[0], 3.0);
+}
+
+TEST(Consistency, PlanIsReusableAcrossExecutors) {
+  apps::StencilApp::Params p;
+  p.rowsPerPiece = 8;
+  p.cols = 16;
+  p.pieces = 2;
+  apps::StencilApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+  // The same plan drives a fresh executor after a first one finished.
+  runtime::PlanExecutor e1(app.world(), setup.plan, 2);
+  e1.run();
+  runtime::PlanExecutor e2(app.world(), setup.plan, 2);
+  e2.run();
+}
+
+}  // namespace
+}  // namespace dpart

@@ -1,0 +1,118 @@
+#include "dpl/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dpart::dpl {
+namespace {
+
+using region::FieldType;
+using region::Index;
+using region::IndexSet;
+using region::Partition;
+using region::Region;
+using region::World;
+
+// A small particles/cells world shaped like the paper's running example
+// (Fig. 1): particles point to cells; h maps each cell to a neighbor.
+class ParticlesCellsWorld : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Region& particles = world.addRegion("Particles", 8);
+    world.addRegion("Cells", 4);
+    particles.addField("cell", FieldType::Idx);
+    auto cell = particles.idx("cell");
+    // Two particles per cell, laid out round-robin.
+    for (Index p = 0; p < 8; ++p) cell[p] = p % 4;
+    world.defineFieldFn("Particles", "cell", "Cells");
+    world.defineAffineFn("h", "Cells", "Cells",
+                         [](Index c) { return (c + 1) % 4; });
+  }
+
+  World world;
+};
+
+TEST_F(ParticlesCellsWorld, RunsFigure2ProgramB) {
+  // P2 = P4 = equal(Cells, N); P1 = preimage(Particles, cell, P2);
+  // P3 = P5 = image(P2, h, Cells).
+  Program prog;
+  prog.append("P2", equalOf("Cells"));
+  prog.append("P4", symbol("P2"));
+  prog.append("P1", preimage("Particles", "Particles[.].cell", symbol("P2")));
+  prog.append("P3", image(symbol("P2"), "h", "Cells"));
+  prog.append("P5", symbol("P3"));
+
+  Evaluator ev(world, 2);
+  const auto& env = ev.run(prog);
+
+  const Partition& p2 = env.at("P2");
+  EXPECT_TRUE(p2.isDisjoint());
+  EXPECT_TRUE(p2.isComplete(4));
+
+  const Partition& p1 = env.at("P1");
+  // Cells {0,1} own particles {0,1,4,5}; cells {2,3} own {2,3,6,7}.
+  EXPECT_EQ(p1.sub(0), (IndexSet{0, 1, 4, 5}));
+  EXPECT_EQ(p1.sub(1), (IndexSet{2, 3, 6, 7}));
+  EXPECT_TRUE(p1.isDisjoint());
+  EXPECT_TRUE(p1.isComplete(8));
+
+  const Partition& p3 = env.at("P3");
+  // h({0,1}) = {1,2}; h({2,3}) = {3,0}.
+  EXPECT_EQ(p3.sub(0), IndexSet::interval(1, 3));
+  EXPECT_EQ(p3.sub(1), (IndexSet{0, 3}));
+
+  // Legality: each image is contained in its constraint's upper bound.
+  const Partition imgCell = region::imagePartition(
+      world, p1, "Particles[.].cell", "Cells");
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(p2.sub(i).containsAll(imgCell.sub(i)));
+  }
+}
+
+TEST_F(ParticlesCellsWorld, ExternalBindingsAreVisible) {
+  Evaluator ev(world, 2);
+  Partition custom("Cells", {IndexSet{0, 2}, IndexSet{1, 3}});
+  ev.bind("pCells", custom);
+  EXPECT_TRUE(ev.has("pCells"));
+  Program prog;
+  prog.append("P3", image(symbol("pCells"), "h", "Cells"));
+  const auto& env = ev.run(prog);
+  EXPECT_EQ(env.at("P3").sub(0), (IndexSet{1, 3}));
+  EXPECT_EQ(env.at("P3").sub(1), (IndexSet{0, 2}));
+}
+
+TEST_F(ParticlesCellsWorld, UnboundSymbolThrows) {
+  Evaluator ev(world, 2);
+  EXPECT_THROW(ev.eval(symbol("nope")), Error);
+  EXPECT_THROW((void)ev.partition("nope"), Error);
+}
+
+TEST_F(ParticlesCellsWorld, EqualUsesPieceCount) {
+  Evaluator ev(world, 4);
+  Partition p = ev.eval(equalOf("Particles"));
+  EXPECT_EQ(p.count(), 4u);
+  EXPECT_EQ(ev.pieces(), 4u);
+}
+
+TEST_F(ParticlesCellsWorld, SetOperatorEvaluation) {
+  Evaluator ev(world, 2);
+  ev.bind("A", Partition("Cells", {IndexSet{0, 1}, IndexSet{2, 3}}));
+  ev.bind("B", Partition("Cells", {IndexSet{1, 2}, IndexSet{3}}));
+  EXPECT_EQ(ev.eval(unionOf(symbol("A"), symbol("B"))).sub(0),
+            (IndexSet{0, 1, 2}));
+  EXPECT_EQ(ev.eval(intersectOf(symbol("A"), symbol("B"))).sub(0),
+            (IndexSet{1}));
+  EXPECT_EQ(ev.eval(subtractOf(symbol("A"), symbol("B"))).sub(1),
+            (IndexSet{2}));
+}
+
+TEST_F(ParticlesCellsWorld, RebindOverwrites) {
+  Evaluator ev(world, 2);
+  ev.bind("A", Partition("Cells", {IndexSet{0}}));
+  ev.bind("A", Partition("Cells", {IndexSet{1}}));
+  EXPECT_EQ(ev.partition("A").sub(0), (IndexSet{1}));
+}
+
+}  // namespace
+}  // namespace dpart::dpl

@@ -1,0 +1,254 @@
+#include "region/dpl_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dpart::region {
+namespace {
+
+// Fixture replicating the paper's Figure 3: f(i) = (i + 1) % 5 over a
+// five-element region partitioned as P = <{0,1,2}, {3,4}>.
+class Figure3Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world.addRegion("R", 5);
+    world.addRegion("S", 5);
+    world.defineAffineFn("f", "R", "S", [](Index i) { return (i + 1) % 5; });
+    p = Partition("R", {IndexSet::interval(0, 3), IndexSet::interval(3, 5)});
+  }
+
+  World world;
+  Partition p;
+};
+
+TEST_F(Figure3Test, ImageMatchesPaperFigure) {
+  // image maps {0,1,2} -> {1,2,3} and {3,4} -> {4,0}.
+  Partition img = imagePartition(world, p, "f", "S");
+  EXPECT_EQ(img.sub(0), IndexSet::interval(1, 4));
+  EXPECT_EQ(img.sub(1), (IndexSet{0, 4}));
+}
+
+TEST_F(Figure3Test, PreimageMatchesPaperFigure) {
+  // With P' = <{0,1,2}, {3,4}> on S, preimage(R, f, P') gives
+  // f^-1({0,1,2}) = {4,0,1} and f^-1({3,4}) = {2,3}.
+  Partition pre = preimagePartition(world, "R", "f", p);
+  EXPECT_EQ(pre.sub(0), (IndexSet{0, 1, 4}));
+  EXPECT_EQ(pre.sub(1), IndexSet::interval(2, 4));
+}
+
+TEST(EqualPartition, BalancedSizes) {
+  World w;
+  w.addRegion("R", 10);
+  Partition p = equalPartition(w, "R", 3);
+  ASSERT_EQ(p.count(), 3u);
+  EXPECT_EQ(p.sub(0).size(), 4);
+  EXPECT_EQ(p.sub(1).size(), 3);
+  EXPECT_EQ(p.sub(2).size(), 3);
+  EXPECT_TRUE(p.isDisjoint());
+  EXPECT_TRUE(p.isComplete(10));
+}
+
+TEST(EqualPartition, MorePiecesThanElements) {
+  World w;
+  w.addRegion("R", 2);
+  Partition p = equalPartition(w, "R", 5);
+  ASSERT_EQ(p.count(), 5u);
+  EXPECT_TRUE(p.isDisjoint());
+  EXPECT_TRUE(p.isComplete(2));
+  EXPECT_EQ(p.totalElements(), 2);
+}
+
+TEST(EqualPartition, ZeroPiecesThrows) {
+  World w;
+  w.addRegion("R", 2);
+  EXPECT_THROW(equalPartition(w, "R", 0), Error);
+}
+
+TEST(ImagePartition, FieldFn) {
+  World w;
+  Region& particles = w.addRegion("Particles", 6);
+  w.addRegion("Cells", 4);
+  particles.addField("cell", FieldType::Idx);
+  auto cell = particles.idx("cell");
+  cell[0] = 0;
+  cell[1] = 1;
+  cell[2] = 1;
+  cell[3] = 3;
+  cell[4] = 3;
+  cell[5] = 2;
+  w.defineFieldFn("Particles", "cell", "Cells");
+  Partition p("Particles",
+              {IndexSet::interval(0, 3), IndexSet::interval(3, 6)});
+  Partition img = imagePartition(w, p, "Particles[.].cell", "Cells");
+  EXPECT_EQ(img.sub(0), IndexSet::interval(0, 2));
+  EXPECT_EQ(img.sub(1), (IndexSet{2, 3}));
+  EXPECT_EQ(img.regionName(), "Cells");
+}
+
+TEST(ImagePartition, OutOfBoundsValuesAreClipped) {
+  World w;
+  w.addRegion("R", 4);
+  w.addRegion("S", 2);
+  w.defineAffineFn("f", "R", "S", [](Index i) { return i; });
+  Partition p("R", {IndexSet::interval(0, 4)});
+  Partition img = imagePartition(w, p, "f", "S");
+  EXPECT_EQ(img.sub(0), IndexSet::interval(0, 2));
+}
+
+TEST(PreimagePartition, AliasedTargets) {
+  // Two subregions that both contain index 1: the preimage of any k with
+  // f(k)=1 must land in both.
+  World w;
+  w.addRegion("R", 4);
+  w.addRegion("S", 3);
+  w.defineAffineFn("f", "R", "S", [](Index i) { return i % 3; });
+  Partition p("S", {IndexSet{0, 1}, IndexSet{1, 2}});
+  Partition pre = preimagePartition(w, "R", "f", p);
+  // f: 0->0, 1->1, 2->2, 3->0.
+  EXPECT_EQ(pre.sub(0), (IndexSet{0, 1, 3}));
+  EXPECT_EQ(pre.sub(1), (IndexSet{1, 2}));
+}
+
+TEST(RangeOps, GeneralizedImageFlattensRanges) {
+  // Section 4: IMAGE over a Range field (CSR rows).
+  World w;
+  Region& ranges = w.addRegion("Ranges", 3);
+  w.addRegion("Mat", 12);
+  ranges.addField("span", FieldType::Range);
+  auto span = ranges.range("span");
+  span[0] = region::Run{0, 4};
+  span[1] = region::Run{4, 9};
+  span[2] = region::Run{9, 12};
+  w.defineRangeFn("Ranges", "span", "Mat");
+  Partition p("Ranges", {IndexSet::interval(0, 2), IndexSet::interval(2, 3)});
+  Partition img = imagePartition(w, p, "Ranges[.].span", "Mat");
+  EXPECT_EQ(img.sub(0), IndexSet::interval(0, 9));
+  EXPECT_EQ(img.sub(1), IndexSet::interval(9, 12));
+}
+
+TEST(RangeOps, GeneralizedPreimage) {
+  // PREIMAGE(R, F, E)[i] = { l | exists k in E[i], k in F(l) }.
+  World w;
+  Region& ranges = w.addRegion("Ranges", 3);
+  w.addRegion("Mat", 12);
+  ranges.addField("span", FieldType::Range);
+  auto span = ranges.range("span");
+  span[0] = region::Run{0, 4};
+  span[1] = region::Run{4, 9};
+  span[2] = region::Run{9, 12};
+  w.defineRangeFn("Ranges", "span", "Mat");
+  Partition mat("Mat", {IndexSet::interval(0, 6), IndexSet::interval(6, 12)});
+  Partition pre = preimagePartition(w, "Ranges", "Ranges[.].span", mat);
+  // Row 0 covers [0,4) -> piece 0 only; row 1 covers [4,9) -> both pieces;
+  // row 2 covers [9,12) -> piece 1 only.
+  EXPECT_EQ(pre.sub(0), IndexSet::interval(0, 2));
+  EXPECT_EQ(pre.sub(1), IndexSet::interval(1, 3));
+}
+
+TEST(PartitionSetOps, SubregionWise) {
+  Partition a("R", {IndexSet::interval(0, 4), IndexSet::interval(8, 12)});
+  Partition b("R", {IndexSet::interval(2, 6), IndexSet::interval(10, 14)});
+  EXPECT_EQ(unionPartitions(a, b).sub(0), IndexSet::interval(0, 6));
+  EXPECT_EQ(intersectPartitions(a, b).sub(1), IndexSet::interval(10, 12));
+  EXPECT_EQ(subtractPartitions(a, b).sub(0), IndexSet::interval(0, 2));
+}
+
+TEST(PartitionSetOps, MismatchedOperandsThrow) {
+  Partition a("R", {IndexSet::interval(0, 4)});
+  Partition b("R", {IndexSet::interval(0, 4), IndexSet::interval(4, 8)});
+  Partition c("S", {IndexSet::interval(0, 4)});
+  EXPECT_THROW(unionPartitions(a, b), Error);
+  EXPECT_THROW(intersectPartitions(a, c), Error);
+}
+
+// ---- Property tests over random functions and partitions ----
+
+class DplOpsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr Index kDomain = 40;
+  static constexpr Index kRange = 30;
+
+  void SetUp() override {
+    Rng rng(GetParam());
+    world.addRegion("R", kDomain);
+    world.addRegion("S", kRange);
+    fnTable.resize(kDomain);
+    for (Index i = 0; i < kDomain; ++i) fnTable[i] = rng.range(0, kRange);
+    world.defineAffineFn("f", "R", "S",
+                         [this](Index i) { return fnTable[i]; });
+    // Random 4-piece (possibly aliased, possibly incomplete) partition of R.
+    std::vector<IndexSet> subs;
+    for (int j = 0; j < 4; ++j) {
+      std::vector<Index> idx;
+      for (Index i = 0; i < kDomain; ++i) {
+        if (rng.chance(0.3)) idx.push_back(i);
+      }
+      subs.push_back(IndexSet::fromIndices(std::move(idx)));
+    }
+    part = Partition("R", std::move(subs));
+  }
+
+  World world;
+  std::vector<Index> fnTable;
+  Partition part;
+};
+
+TEST_P(DplOpsPropertyTest, ImageDefinition) {
+  Partition img = imagePartition(world, part, "f", "S");
+  for (std::size_t j = 0; j < part.count(); ++j) {
+    // Every mapped point is present...
+    part.sub(j).forEach([&](Index k) {
+      EXPECT_TRUE(img.sub(j).contains(fnTable[k]));
+    });
+    // ...and nothing else is.
+    img.sub(j).forEach([&](Index v) {
+      bool hasSource = false;
+      part.sub(j).forEach([&](Index k) { hasSource |= fnTable[k] == v; });
+      EXPECT_TRUE(hasSource) << "spurious image element " << v;
+    });
+  }
+}
+
+TEST_P(DplOpsPropertyTest, PreimageDefinition) {
+  Partition onS("S", {IndexSet::interval(0, kRange / 2),
+                      IndexSet::interval(kRange / 2, kRange)});
+  Partition pre = preimagePartition(world, "R", "f", onS);
+  for (std::size_t j = 0; j < onS.count(); ++j) {
+    for (Index k = 0; k < kDomain; ++k) {
+      EXPECT_EQ(pre.sub(j).contains(k), onS.sub(j).contains(fnTable[k]));
+    }
+  }
+}
+
+TEST_P(DplOpsPropertyTest, ImageOfPreimageIsContained) {
+  // The L14-adjacent fact the solver relies on:
+  //   image(preimage(R, f, E), f, S) subseteq E.
+  Partition onS("S", {IndexSet::interval(0, 10), IndexSet::interval(10, 25)});
+  Partition pre = preimagePartition(world, "R", "f", onS);
+  Partition img = imagePartition(world, pre, "f", "S");
+  for (std::size_t j = 0; j < onS.count(); ++j) {
+    EXPECT_TRUE(onS.sub(j).containsAll(img.sub(j)));
+  }
+}
+
+TEST_P(DplOpsPropertyTest, PreimagePreservesDisjointnessAndCompleteness) {
+  // Lemmas L7 and L12 for point-valued functions.
+  World w2;
+  w2.addRegion("R", kDomain);
+  w2.addRegion("S", kRange);
+  w2.defineAffineFn("f", "R", "S", [this](Index i) { return fnTable[i]; });
+  Partition onS = equalPartition(w2, "S", 5);
+  ASSERT_TRUE(onS.isDisjoint());
+  ASSERT_TRUE(onS.isComplete(kRange));
+  Partition pre = preimagePartition(w2, "R", "f", onS);
+  EXPECT_TRUE(pre.isDisjoint());
+  EXPECT_TRUE(pre.isComplete(kDomain));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DplOpsPropertyTest,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace dpart::region

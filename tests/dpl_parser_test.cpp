@@ -1,0 +1,93 @@
+#include "dpl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constraint/solver.hpp"
+#include "optimize/reduction_opt.hpp"
+#include "support/check.hpp"
+
+namespace dpart::dpl {
+namespace {
+
+void roundtrip(const ExprPtr& e) {
+  ExprPtr parsed = parseExpr(e->toString());
+  EXPECT_TRUE(exprEq(parsed, e)) << "printed: " << e->toString()
+                                 << "\nreparsed: " << parsed->toString();
+}
+
+TEST(DplParser, Terms) {
+  EXPECT_EQ(parseExpr("P1")->kind, ExprKind::Symbol);
+  EXPECT_EQ(parseExpr("equal(R)")->kind, ExprKind::Equal);
+  EXPECT_EQ(parseExpr("image(P1, f, R)")->kind, ExprKind::Image);
+  EXPECT_EQ(parseExpr("preimage(R, f, P1)")->kind, ExprKind::Preimage);
+}
+
+TEST(DplParser, RoundtripsEveryShape) {
+  roundtrip(symbol("P1"));
+  roundtrip(equalOf("Cells"));
+  roundtrip(image(symbol("P1"), "Particles[.].cell", "Cells"));
+  roundtrip(preimage("Particles", "f_ID", equalOf("Cells")));
+  roundtrip(unionOf(symbol("A"), symbol("B")));
+  roundtrip(intersectOf(image(symbol("A"), "f", "R"),
+                        subtractOf(symbol("B"), equalOf("R"))));
+  roundtrip(subtractOf(
+      image(preimage("R", "g", symbol("Q")), "g", "S"),
+      unionOf(equalOf("S"), symbol("pExt"))));
+}
+
+TEST(DplParser, RoundtripsTheorem51Expression) {
+  roundtrip(optimize::privateSubPartitionExpr(symbol("P"), "f", "R", "S"));
+}
+
+TEST(DplParser, SymbolsNamedLikeKeywordsStillParse) {
+  // 'image' not followed by '(' is a plain symbol; so are u/n-containing
+  // identifiers.
+  EXPECT_EQ(parseExpr("union_part")->name, "union_part");
+  EXPECT_EQ(parseExpr("(image u n1)")->toString(), "(image u n1)");
+}
+
+TEST(DplParser, ProgramRoundtrip) {
+  Program prog;
+  prog.append("P2", equalOf("Cells"));
+  prog.append("P1", preimage("Particles", "Particles[.].cell", symbol("P2")));
+  prog.append("P3", image(symbol("P2"), "h", "Cells"));
+  prog.append("P5", symbol("P3"));
+  Program parsed = parseProgram(prog.toString());
+  EXPECT_EQ(parsed.toString(), prog.toString());
+  ASSERT_EQ(parsed.size(), 4u);
+  EXPECT_EQ(parsed.stmts()[1].lhs, "P1");
+}
+
+TEST(DplParser, SolverOutputRoundtrips) {
+  // The solver's emitted program for the Figure 2 system reparses exactly.
+  constraint::System sys;
+  sys.declareSymbol("P1", "Particles");
+  sys.addComp(dpl::symbol("P1"), "Particles");
+  sys.declareSymbol("P2", "Cells");
+  sys.addComp(dpl::symbol("P2"), "Cells");
+  sys.addSubset(image(dpl::symbol("P1"), "cell", "Cells"), dpl::symbol("P2"));
+  sys.declareSymbol("P3", "Cells");
+  sys.addSubset(image(dpl::symbol("P2"), "h", "Cells"), dpl::symbol("P3"));
+  constraint::Solver solver(sys, {});
+  auto sol = solver.solve();
+  ASSERT_TRUE(sol.ok);
+  const std::string printed = sol.program().toString();
+  EXPECT_EQ(parseProgram(printed).toString(), printed);
+}
+
+TEST(DplParser, ErrorsCarryPosition) {
+  EXPECT_THROW(parseExpr(""), Error);
+  EXPECT_THROW(parseExpr("image(P1, f"), Error);
+  EXPECT_THROW(parseExpr("(A ? B)"), Error);
+  EXPECT_THROW(parseExpr("A B"), Error);  // trailing input
+  EXPECT_THROW(parseProgram("P1 equal(R)"), Error);
+  try {
+    (void)parseExpr("(A u ))");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpart::dpl

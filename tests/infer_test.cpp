@@ -1,0 +1,203 @@
+#include "analysis/infer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/parallelizable.hpp"
+
+namespace dpart::analysis {
+namespace {
+
+using ir::LoopBuilder;
+using region::FieldType;
+using region::Index;
+using region::World;
+
+// Finds whether a subset constraint with the given printed form exists.
+bool hasSubset(const constraint::System& sys, const std::string& printed) {
+  for (const auto& sc : sys.subsets()) {
+    if (sc.toString() == printed) return true;
+  }
+  return false;
+}
+
+// Figure 6 / Example 1 world: Particles point into Cells.
+class Figure6Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& p = world.addRegion("Particles", 12);
+    auto& c = world.addRegion("Cells", 6);
+    p.addField("cell", FieldType::Idx);
+    p.addField("pos", FieldType::F64);
+    c.addField("vel", FieldType::F64);
+    c.addField("acc", FieldType::F64);
+    auto cell = p.idx("cell");
+    for (Index i = 0; i < 12; ++i) cell[static_cast<std::size_t>(i)] = i / 2;
+    world.defineFieldFn("Particles", "cell", "Cells");
+    world.defineAffineFn("h", "Cells", "Cells",
+                         [](Index c2) { return (c2 + 1) % 6; });
+  }
+
+  World world;
+};
+
+TEST_F(Figure6Test, Example1ConstraintShapes) {
+  // for (p in Particles): c = Particles[p].cell;
+  //                       Particles[p].pos += f(Cells[c].vel)
+  LoopBuilder b("loop", "p", "Particles");
+  b.loadIdx("c", "Particles", "cell", "p");
+  b.loadF64("v", "Cells", "vel", "c");
+  b.compute("d", {"v"}, [](auto a) { return a[0]; });
+  b.reduce("Particles", "pos", "p", "d");
+  ir::Loop loop = b.build();
+  ASSERT_TRUE(checkParallelizable(world, loop).ok);
+
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, loop, gen);
+  const constraint::System& sys = lc.system;
+
+  // Iteration symbol P1 over Particles with COMP; no DISJ (reduction is
+  // centered).
+  EXPECT_EQ(lc.iterSymbol, "P1");
+  EXPECT_EQ(sys.regionOf("P1"), "Particles");
+  EXPECT_TRUE(sys.requiresComp("P1"));
+  EXPECT_FALSE(sys.requiresDisj("P1"));
+
+  // Figure 6's constraint set: P1 <= P2 (centered read of cell),
+  // image(P1, cell, Cells) <= P3 (uncentered read of vel), P1 <= P4
+  // (centered reduce of pos).
+  EXPECT_TRUE(hasSubset(sys, "P1 <= P2"));
+  EXPECT_TRUE(
+      hasSubset(sys, "image(P1, Particles[.].cell, Cells) <= P3"));
+  EXPECT_TRUE(hasSubset(sys, "P1 <= P4"));
+  EXPECT_EQ(sys.regionOf("P2"), "Particles");
+  EXPECT_EQ(sys.regionOf("P3"), "Cells");
+  EXPECT_EQ(sys.regionOf("P4"), "Particles");
+}
+
+TEST_F(Figure6Test, Figure1ChainedConstraint) {
+  // Full first loop of Figure 1a, including Cells[h(c)].vel: the h access
+  // must chain from the symbol of the Cells[c] access (Example 5's graph).
+  LoopBuilder b("loop1", "p", "Particles");
+  b.loadIdx("c", "Particles", "cell", "p");
+  b.loadF64("v1", "Cells", "vel", "c");
+  b.apply("c2", "h", "c");
+  b.loadF64("v2", "Cells", "vel", "c2");
+  b.compute("d", {"v1", "v2"}, [](auto a) { return a[0] + a[1]; });
+  b.reduce("Particles", "pos", "p", "d");
+  ir::Loop loop = b.build();
+
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, loop, gen);
+  // P1 iter, P2 cell-read (Particles), P3 Cells[c], P4 Cells[h(c)], P5 pos.
+  EXPECT_TRUE(hasSubset(lc.system, "image(P1, Particles[.].cell, Cells) <= P3"));
+  EXPECT_TRUE(hasSubset(lc.system, "image(P3, h, Cells) <= P4"));
+  EXPECT_TRUE(hasSubset(lc.system, "P1 <= P5"));
+}
+
+TEST_F(Figure6Test, Figure7DisjointnessPredicate) {
+  // for (i in R): S[g(i)] += R[i]  — uncentered reduction forces DISJ on
+  // the iteration-space partition.
+  auto& r = world.addRegion("R", 10);
+  auto& s = world.addRegion("S", 10);
+  r.addField("val", FieldType::F64);
+  s.addField("acc", FieldType::F64);
+  world.defineAffineFn("g", "R", "S", [](Index i) { return i; });
+
+  LoopBuilder b("red", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("x", "R", "val", "i");
+  b.reduce("S", "acc", "j", "x");
+  ir::Loop loop = b.build();
+
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, loop, gen);
+  EXPECT_TRUE(lc.system.requiresComp(lc.iterSymbol));
+  EXPECT_TRUE(lc.system.requiresDisj(lc.iterSymbol));
+  EXPECT_TRUE(hasSubset(lc.system, "image(P1, g, S) <= P3"));
+}
+
+TEST_F(Figure6Test, CenteredReductionAddsNoDisj) {
+  LoopBuilder b("l", "p", "Particles");
+  b.loadF64("x", "Particles", "pos", "p");
+  b.reduce("Particles", "pos", "p", "x");
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, b.build(), gen);
+  EXPECT_FALSE(lc.system.requiresDisj(lc.iterSymbol));
+}
+
+TEST_F(Figure6Test, StmtSymbolMapCoversAllAccesses) {
+  LoopBuilder b("loop", "p", "Particles");
+  b.loadIdx("c", "Particles", "cell", "p");
+  b.loadF64("v", "Cells", "vel", "c");
+  b.compute("d", {"v"}, [](auto a) { return a[0]; });
+  b.reduce("Particles", "pos", "p", "d");
+  ir::Loop loop = b.build();
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, loop, gen);
+  // Three region accesses -> three stmt symbols (ids 0, 1, 3).
+  EXPECT_EQ(lc.stmtSymbol.size(), 3u);
+  EXPECT_TRUE(lc.stmtSymbol.contains(0));
+  EXPECT_TRUE(lc.stmtSymbol.contains(1));
+  EXPECT_TRUE(lc.stmtSymbol.contains(3));
+}
+
+// SpMV (Figure 10a) inference.
+class SpmvInferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& y = world.addRegion("Y", 4);
+    auto& ranges = world.addRegion("Ranges", 4);
+    auto& mat = world.addRegion("Mat", 12);
+    auto& x = world.addRegion("X", 4);
+    y.addField("val", FieldType::F64);
+    ranges.addField("span", FieldType::Range);
+    mat.addField("val", FieldType::F64);
+    mat.addField("ind", FieldType::Idx);
+    x.addField("val", FieldType::F64);
+    world.defineRangeFn("Ranges", "span", "Mat");
+    world.defineFieldFn("Mat", "ind", "X");
+  }
+
+  ir::Loop buildSpmv() {
+    LoopBuilder b("spmv", "i", "Y");
+    b.loadRange("rg", "Ranges", "span", "i");
+    b.beginInner("k", "rg");
+    b.loadF64("a", "Mat", "val", "k");
+    b.loadIdx("col", "Mat", "ind", "k");
+    b.loadF64("xv", "X", "val", "col");
+    b.compute("prod", {"a", "xv"}, [](auto v) { return v[0] * v[1]; });
+    b.reduce("Y", "val", "i", "prod");
+    b.endInner();
+    return b.build();
+  }
+
+  World world;
+};
+
+TEST_F(SpmvInferTest, Figure10Constraints) {
+  ir::Loop loop = buildSpmv();
+  ASSERT_TRUE(checkParallelizable(world, loop).ok);
+  constraint::SymbolGen gen;
+  LoopConstraints lc = inferConstraints(world, loop, gen);
+  const constraint::System& sys = lc.system;
+  // P1 = iteration over Y; P2 bounds the centered Ranges access via the
+  // cross-region identity image; P3 bounds the Mat accesses via the
+  // generalized IMAGE; P5 bounds X via Mat[.].ind.
+  EXPECT_TRUE(hasSubset(sys, "image(P1, f_ID, Ranges) <= P2"));
+  EXPECT_TRUE(hasSubset(
+      sys, "image(image(P1, f_ID, Ranges), Ranges[.].span, Mat) <= P3"));
+  // Chaining through the rebound Mat symbol (P3 covers Mat[k].val; P4 is
+  // Mat[k].ind which collapses onto the same bound expression).
+  EXPECT_TRUE(hasSubset(sys, "image(P3, Mat[.].ind, X) <= P5"));
+}
+
+TEST_F(SpmvInferTest, InferenceIsLinearAndDeterministic) {
+  ir::Loop loop = buildSpmv();
+  constraint::SymbolGen g1, g2;
+  LoopConstraints a = inferConstraints(world, loop, g1);
+  LoopConstraints bconstraints = inferConstraints(world, loop, g2);
+  EXPECT_EQ(a.system.toString(), bconstraints.system.toString());
+}
+
+}  // namespace
+}  // namespace dpart::analysis

@@ -1,0 +1,204 @@
+#include "analysis/parallelizable.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpart::analysis {
+namespace {
+
+using ir::LoopBuilder;
+using region::FieldType;
+using region::Index;
+using region::World;
+
+class CheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& r = world.addRegion("R", 10);
+    r.addField("a", FieldType::F64);
+    r.addField("b", FieldType::F64);
+    r.addField("ptr", FieldType::Idx);
+    r.addField("span", FieldType::Range);
+    auto& s = world.addRegion("S", 10);
+    s.addField("x", FieldType::F64);
+    s.addField("y", FieldType::F64);
+    world.defineAffineFn("g", "R", "S", [](Index i) { return i; });
+    world.defineFieldFn("R", "ptr", "S");
+    world.defineRangeFn("R", "span", "S");
+  }
+  World world;
+};
+
+TEST_F(CheckTest, CenteredLoopIsParallelizable) {
+  LoopBuilder b("l", "i", "R");
+  b.loadF64("x", "R", "a", "i");
+  b.store("R", "b", "i", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+  ASSERT_EQ(res.accesses.size(), 2u);
+  EXPECT_TRUE(res.accesses[0].centered);
+  EXPECT_EQ(res.accesses[0].mode, AccessMode::Read);
+  EXPECT_EQ(res.accesses[1].mode, AccessMode::Write);
+}
+
+TEST_F(CheckTest, UncenteredReadIsAdmissible) {
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("x", "S", "x", "j");
+  b.store("R", "b", "i", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_FALSE(res.accesses[0].centered);
+}
+
+TEST_F(CheckTest, UncenteredWriteRejected) {
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("x", "R", "a", "i");
+  b.store("S", "x", "j", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("not centered"), std::string::npos);
+}
+
+TEST_F(CheckTest, UncenteredReductionAllowed) {
+  // Figure 7 shape: S[g(i)] += R[i].
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("x", "R", "a", "i");
+  b.reduce("S", "x", "j", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+}
+
+TEST_F(CheckTest, UncenteredReductionPlusReadOnSameFieldRejected) {
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("v", "S", "x", "j");  // read S.x
+  b.reduce("S", "x", "j", "v");   // uncentered reduce S.x
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("uncentered reduction and a read"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, UncenteredReductionPlusReadOnOtherFieldAllowed) {
+  // Per-field privileges: reading S.y while reducing into S.x is fine
+  // (this is exactly MiniAero's read-face-properties / reduce-cell-flux
+  // pattern, modulo regions).
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("v", "S", "y", "j");
+  b.reduce("S", "x", "j", "v");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+}
+
+TEST_F(CheckTest, MixedUncenteredReduceOpsRejected) {
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "g", "i");
+  b.loadF64("x", "R", "a", "i");
+  b.reduce("S", "x", "j", "x", ir::ReduceOp::Sum);
+  b.reduce("S", "x", "j", "x", ir::ReduceOp::Max);
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("mixes reduction operators"), std::string::npos);
+}
+
+TEST_F(CheckTest, SameUncenteredReduceOpTwiceAllowed) {
+  // Figure 11a: two uncentered reductions with the same operator.
+  LoopBuilder b("l", "i", "R");
+  b.apply("j1", "g", "i");
+  b.apply("j2", "g", "i");
+  b.loadF64("x", "R", "a", "i");
+  b.reduce("S", "x", "j1", "x");
+  b.reduce("S", "x", "j2", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+}
+
+TEST_F(CheckTest, UncenteredReadPlusCenteredWriteSameFieldRejected) {
+  world.defineAffineFn("gr", "R", "R", [](Index i) { return i; });
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "gr", "i");
+  b.loadF64("x", "R", "a", "j");  // uncentered read R.a
+  b.store("R", "a", "i", "x");    // centered write R.a
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("uncentered read and a write"),
+            std::string::npos);
+}
+
+TEST_F(CheckTest, StencilPatternAllowed) {
+  // Uncentered reads of field a, centered writes of field b: the 9-point
+  // stencil shape.
+  world.defineAffineFn("gr", "R", "R", [](Index i) { return i; });
+  LoopBuilder b("l", "i", "R");
+  b.apply("j", "gr", "i");
+  b.loadF64("x", "R", "a", "j");
+  b.store("R", "b", "i", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+}
+
+TEST_F(CheckTest, AliasOfLoopVarStaysCentered) {
+  LoopBuilder b("l", "i", "R");
+  b.alias("i2", "i");
+  b.loadF64("x", "R", "a", "i2");
+  b.store("R", "b", "i2", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_TRUE(res.accesses[0].centered);
+}
+
+TEST_F(CheckTest, PointerDerivedIndexIsUncentered) {
+  LoopBuilder b("l", "i", "R");
+  b.loadIdx("j", "R", "ptr", "i");
+  b.loadF64("x", "S", "x", "j");
+  b.store("R", "b", "i", "x");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+  // Accesses: centered read of R.ptr, uncentered read of S.x, write R.b.
+  ASSERT_EQ(res.accesses.size(), 3u);
+  EXPECT_TRUE(res.accesses[0].centered);
+  EXPECT_FALSE(res.accesses[1].centered);
+}
+
+TEST_F(CheckTest, InnerLoopIndexIsUncentered) {
+  LoopBuilder b("l", "i", "R");
+  b.loadRange("rg", "R", "span", "i");
+  b.beginInner("k", "rg");
+  b.loadF64("x", "S", "x", "k");
+  b.reduce("R", "b", "i", "x");
+  b.endInner();
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_TRUE(res.ok) << res.reason;
+}
+
+TEST_F(CheckTest, WriteThroughInnerLoopVarRejected) {
+  LoopBuilder b("l", "i", "R");
+  b.loadRange("rg", "R", "span", "i");
+  b.loadF64("x", "R", "a", "i");
+  b.beginInner("k", "rg");
+  b.store("S", "x", "k", "x");
+  b.endInner();
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST_F(CheckTest, UnknownIterationRegionRejected) {
+  LoopBuilder b("l", "i", "Nope");
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+}
+
+TEST_F(CheckTest, ScalarUsedAsIndexRejected) {
+  LoopBuilder b("l", "i", "R");
+  b.loadF64("x", "R", "a", "i");
+  b.loadF64("y", "R", "a", "x");  // x is a scalar
+  auto res = checkParallelizable(world, b.build());
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.reason.find("not an index"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpart::analysis

@@ -1,0 +1,90 @@
+#include "region/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace dpart::region {
+namespace {
+
+Partition makePartition(std::vector<IndexSet> subs) {
+  return Partition("R", std::move(subs));
+}
+
+TEST(Partition, DisjointAndComplete) {
+  Partition p = makePartition(
+      {IndexSet::interval(0, 5), IndexSet::interval(5, 10)});
+  EXPECT_TRUE(p.isDisjoint());
+  EXPECT_TRUE(p.isComplete(10));
+  EXPECT_FALSE(p.isComplete(11));
+}
+
+TEST(Partition, AliasedIsNotDisjoint) {
+  Partition p = makePartition(
+      {IndexSet::interval(0, 6), IndexSet::interval(5, 10)});
+  EXPECT_FALSE(p.isDisjoint());
+  EXPECT_TRUE(p.isComplete(10));
+}
+
+TEST(Partition, IncompleteWithHole) {
+  Partition p = makePartition(
+      {IndexSet::interval(0, 4), IndexSet::interval(6, 10)});
+  EXPECT_TRUE(p.isDisjoint());
+  EXPECT_FALSE(p.isComplete(10));
+}
+
+TEST(Partition, EmptySubregionsAreDisjoint) {
+  Partition p = makePartition({IndexSet{}, IndexSet{}, IndexSet{}});
+  EXPECT_TRUE(p.isDisjoint());
+  EXPECT_FALSE(p.isComplete(1));
+  EXPECT_TRUE(p.isComplete(0));
+}
+
+TEST(Partition, TotalElementsCountsAliases) {
+  Partition p = makePartition(
+      {IndexSet::interval(0, 6), IndexSet::interval(4, 8)});
+  EXPECT_EQ(p.totalElements(), 10);
+  EXPECT_EQ(p.unionAll(), IndexSet::interval(0, 8));
+}
+
+TEST(Partition, MaxRunCount) {
+  Partition p = makePartition(
+      {IndexSet::fromIndices({0, 2, 4}), IndexSet::interval(10, 20)});
+  EXPECT_EQ(p.maxRunCount(), 3u);
+}
+
+TEST(Partition, SubOutOfRangeThrows) {
+  Partition p = makePartition({IndexSet::interval(0, 2)});
+  EXPECT_NO_THROW((void)p.sub(0));
+  EXPECT_THROW((void)p.sub(1), Error);
+}
+
+// Property: isDisjoint agrees with the quadratic pairwise definition.
+class PartitionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionPropertyTest, DisjointMatchesPairwiseDefinition) {
+  Rng rng(GetParam());
+  std::vector<IndexSet> subs;
+  const int parts = 2 + static_cast<int>(rng.below(5));
+  for (int j = 0; j < parts; ++j) {
+    std::vector<Index> idx;
+    const int n = static_cast<int>(rng.below(20));
+    for (int i = 0; i < n; ++i) idx.push_back(rng.range(0, 60));
+    subs.push_back(IndexSet::fromIndices(std::move(idx)));
+  }
+  Partition p = makePartition(subs);
+  bool pairwiseDisjoint = true;
+  for (std::size_t a = 0; a < subs.size(); ++a) {
+    for (std::size_t b = a + 1; b < subs.size(); ++b) {
+      if (subs[a].intersects(subs[b])) pairwiseDisjoint = false;
+    }
+  }
+  EXPECT_EQ(p.isDisjoint(), pairwiseDisjoint);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dpart::region

@@ -1,0 +1,220 @@
+#include "optimize/reduction_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constraint/solver.hpp"
+#include "dpl/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace dpart::optimize {
+namespace {
+
+using analysis::LoopConstraints;
+using analysis::ParallelizableResult;
+using region::FieldType;
+using region::Index;
+using region::IndexSet;
+using region::Partition;
+using region::World;
+
+// Builds the Figure 11a loop: for (i in R): S[f(i)] += R[i]; S[g(i)] += R[i].
+struct Fig11Setup {
+  World world;
+  ir::Loop loop;
+  ParallelizableResult accesses;
+  LoopConstraints constraints;
+
+  Fig11Setup() {
+    world.addRegion("R", 20).addField("val", FieldType::F64);
+    world.addRegion("S", 20).addField("acc", FieldType::F64);
+    world.defineAffineFn("f", "R", "S", [](Index i) { return i; });
+    world.defineAffineFn("g", "R", "S",
+                         [](Index i) { return (i + 3) % 20; });
+    ir::LoopBuilder b("fig11", "i", "R");
+    b.apply("j1", "f", "i");
+    b.apply("j2", "g", "i");
+    b.loadF64("x", "R", "val", "i");
+    b.reduce("S", "acc", "j1", "x");
+    b.reduce("S", "acc", "j2", "x");
+    loop = b.build();
+    accesses = analysis::checkParallelizable(world, loop);
+    constraint::SymbolGen gen;
+    constraints = analysis::inferConstraints(world, loop, gen);
+  }
+};
+
+TEST(Relaxation, Figure11LoopIsRelaxable) {
+  Fig11Setup s;
+  ASSERT_TRUE(s.accesses.ok) << s.accesses.reason;
+  EXPECT_TRUE(isRelaxable(s.accesses, s.constraints));
+}
+
+TEST(Relaxation, CenteredWriteBlocksRelaxation) {
+  World world;
+  world.addRegion("R", 10).addField("val", FieldType::F64);
+  world.addRegion("S", 10).addField("acc", FieldType::F64);
+  world.defineAffineFn("f", "R", "S", [](Index i) { return i; });
+  ir::LoopBuilder b("l", "i", "R");
+  b.apply("j", "f", "i");
+  b.loadF64("x", "R", "val", "i");
+  b.reduce("S", "acc", "j", "x");
+  b.store("R", "val", "i", "x");  // centered write
+  ir::Loop loop = b.build();
+  auto acc = analysis::checkParallelizable(world, loop);
+  ASSERT_TRUE(acc.ok);
+  constraint::SymbolGen gen;
+  auto lc = analysis::inferConstraints(world, loop, gen);
+  EXPECT_FALSE(isRelaxable(acc, lc));
+}
+
+TEST(Relaxation, CenteredReductionBlocksRelaxation) {
+  World world;
+  world.addRegion("R", 10).addField("val", FieldType::F64);
+  world.addRegion("S", 10).addField("acc", FieldType::F64);
+  world.defineAffineFn("f", "R", "S", [](Index i) { return i; });
+  ir::LoopBuilder b("l", "i", "R");
+  b.apply("j", "f", "i");
+  b.loadF64("x", "R", "val", "i");
+  b.reduce("S", "acc", "j", "x");
+  b.reduce("R", "val", "i", "x");  // centered reduce: double-counts if dup'd
+  ir::Loop loop = b.build();
+  auto acc = analysis::checkParallelizable(world, loop);
+  ASSERT_TRUE(acc.ok);
+  constraint::SymbolGen gen;
+  auto lc = analysis::inferConstraints(world, loop, gen);
+  EXPECT_FALSE(isRelaxable(acc, lc));
+}
+
+TEST(Relaxation, NoUncenteredReduceNotRelaxable) {
+  World world;
+  world.addRegion("R", 10).addField("val", FieldType::F64);
+  ir::LoopBuilder b("l", "i", "R");
+  b.loadF64("x", "R", "val", "i");
+  b.reduce("R", "val", "i", "x");
+  ir::Loop loop = b.build();
+  auto acc = analysis::checkParallelizable(world, loop);
+  constraint::SymbolGen gen;
+  auto lc = analysis::inferConstraints(world, loop, gen);
+  EXPECT_FALSE(isRelaxable(acc, lc));
+}
+
+TEST(Relaxation, RelaxLoopRewritesConstraints) {
+  Fig11Setup s;
+  LoopReductionPlan plan = relaxLoop(s.accesses, s.constraints);
+  EXPECT_TRUE(plan.relaxed);
+  ASSERT_EQ(plan.reduces.size(), 2u);
+  EXPECT_EQ(plan.reduces[0].strategy, ReduceStrategy::Guarded);
+
+  const constraint::System& sys = s.constraints.system;
+  // DISJ on the iteration space is gone.
+  EXPECT_FALSE(sys.requiresDisj(s.constraints.iterSymbol));
+  // Reduction partitions became disjoint + complete with preimage coverage.
+  const std::string& p1 = plan.reduces[0].partition;
+  const std::string& p2 = plan.reduces[1].partition;
+  EXPECT_TRUE(sys.requiresDisj(p1));
+  EXPECT_TRUE(sys.requiresComp(p1));
+  EXPECT_TRUE(sys.requiresDisj(p2));
+  bool foundCoverage = false;
+  for (const auto& sc : sys.subsets()) {
+    if (sc.rhs->kind == dpl::ExprKind::Symbol &&
+        sc.rhs->name == s.constraints.iterSymbol &&
+        sc.lhs->kind == dpl::ExprKind::Preimage) {
+      foundCoverage = true;
+    }
+  }
+  EXPECT_TRUE(foundCoverage);
+
+  // The relaxed system is solvable (Example 7's outcome).
+  constraint::Solver solver(sys, {});
+  auto sol = solver.solve();
+  EXPECT_TRUE(sol.ok) << sol.failure;
+}
+
+// ---- Theorem 5.1 property test ----
+
+class PrivateSubPartitionTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PrivateSubPartitionTest, Theorem51HoldsOnRandomData) {
+  Rng rng(GetParam());
+  const Index nR = 30 + static_cast<Index>(rng.below(30));
+  const Index nS = 20 + static_cast<Index>(rng.below(20));
+  World world;
+  world.addRegion("R", nR);
+  world.addRegion("S", nS);
+  std::vector<Index> table(static_cast<std::size_t>(nR));
+  for (auto& v : table) v = rng.range(0, nS);
+  world.defineAffineFn("f", "R", "S",
+                       [&table](Index i) { return table[static_cast<std::size_t>(i)]; });
+
+  // Random disjoint (not necessarily complete) partition P of R.
+  const std::size_t pieces = 2 + rng.below(4);
+  std::vector<std::vector<Index>> groups(pieces);
+  for (Index i = 0; i < nR; ++i) {
+    const std::size_t owner = rng.below(pieces + 1);  // may be unassigned
+    if (owner < pieces) groups[owner].push_back(i);
+  }
+  std::vector<IndexSet> subs;
+  for (auto& g : groups) subs.push_back(IndexSet::fromIndices(std::move(g)));
+  Partition p("R", std::move(subs));
+  ASSERT_TRUE(p.isDisjoint());
+
+  dpl::Evaluator ev(world, pieces);
+  ev.bind("P", p);
+  dpl::ExprPtr privExpr = privateSubPartitionExpr(dpl::symbol("P"), "f",
+                                                  "R", "S");
+  Partition priv = ev.eval(privExpr);
+  Partition img = ev.eval(dpl::image(dpl::symbol("P"), "f", "S"));
+
+  // (1) Pp is a sub-partition of f_S(P): Pp[i] <= f_S(P)[i].
+  for (std::size_t j = 0; j < pieces; ++j) {
+    EXPECT_TRUE(img.sub(j).containsAll(priv.sub(j)));
+  }
+  // (2) Pp is disjoint.
+  EXPECT_TRUE(priv.isDisjoint());
+  // (3) Privacy: an element of Pp[j] is pointed to only from P[j] —
+  //     it appears in no other subregion's image.
+  for (std::size_t j = 0; j < pieces; ++j) {
+    for (std::size_t k = 0; k < pieces; ++k) {
+      if (j == k) continue;
+      EXPECT_FALSE(priv.sub(j).intersects(img.sub(k)))
+          << "private element of " << j << " is imaged by " << k;
+    }
+  }
+  // (4) Maximality on this data: every image element NOT in Pp[j] really is
+  //     reachable from outside P[j] — from another subregion or from an
+  //     element the (incomplete) partition left unassigned.
+  IndexSet assigned = p.unionAll();
+  std::vector<Index> unassignedTargets;
+  for (Index i = 0; i < nR; ++i) {
+    if (!assigned.contains(i)) {
+      unassignedTargets.push_back(table[static_cast<std::size_t>(i)]);
+    }
+  }
+  IndexSet outsideImage = IndexSet::fromIndices(std::move(unassignedTargets));
+  for (std::size_t j = 0; j < pieces; ++j) {
+    IndexSet sharedPart = img.sub(j).subtract(priv.sub(j));
+    sharedPart.forEach([&](Index e) {
+      bool shared = outsideImage.contains(e);
+      for (std::size_t k = 0; k < pieces; ++k) {
+        if (k != j && img.sub(k).contains(e)) shared = true;
+      }
+      EXPECT_TRUE(shared) << "element " << e
+                          << " was excluded from the private part of " << j
+                          << " but is not shared";
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrivateSubPartitionTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(PrivateSubPartition, ExpressionShape) {
+  dpl::ExprPtr e = privateSubPartitionExpr(dpl::symbol("P"), "f", "R", "S");
+  EXPECT_EQ(e->toString(),
+            "(image(P, f, S) - "
+            "image((preimage(R, f, image(P, f, S)) - P), f, S))");
+}
+
+}  // namespace
+}  // namespace dpart::optimize

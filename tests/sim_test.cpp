@@ -1,0 +1,80 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/spmv.hpp"
+#include "apps/stencil.hpp"
+
+namespace dpart::sim {
+namespace {
+
+TEST(DepthsOf, CumulativeThroughReferences) {
+  dpl::Program prog;
+  prog.append("A", dpl::equalOf("R"));
+  prog.append("B", dpl::image(dpl::symbol("A"), "f", "S"));
+  prog.append("C", dpl::subtractOf(dpl::image(dpl::symbol("B"), "g", "T"),
+                                   dpl::symbol("B")));
+  prog.append("D", dpl::symbol("C"));
+  auto d = ClusterSim::depthsOf(prog);
+  EXPECT_EQ(d.at("A"), 0);
+  EXPECT_EQ(d.at("B"), 1);
+  EXPECT_EQ(d.at("C"), 3);  // 1 (B) + expr depth 2
+  EXPECT_EQ(d.at("D"), 3);  // alias inherits its target's depth
+}
+
+TEST(ClusterSim, SpmvHasNoYGhosts) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+  ClusterSim sim(app.world(), MachineConfig{});
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  auto depths = ClusterSim::depthsOf(setup.plan.dpl);
+  auto res = sim.simulateLoop(setup.plan.loops[0], setup.partitions, depths);
+  // Only the X vector band overlap leaks off-node: tiny ghost volume.
+  EXPECT_GT(res.seconds, 0.0);
+  EXPECT_LT(res.totalGhostElems, app.rows() / 4);
+  EXPECT_EQ(res.totalBufferedElems, 0);
+}
+
+TEST(ClusterSim, StencilGhostRowsMatchTopology) {
+  apps::StencilApp::Params p;
+  p.rowsPerPiece = 16;
+  p.cols = 32;
+  p.pieces = 4;
+  apps::StencilApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+  ClusterSim sim(app.world(), MachineConfig{});
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  auto depths = ClusterSim::depthsOf(setup.plan.dpl);
+  auto res = sim.simulateLoop(setup.plan.loops[0], setup.partitions, depths);
+  // Per direction the +/-1 and +/-2 image partitions move 1 and 2 ghost
+  // rows respectively (3 per direction): interior pieces 6 rows, edge
+  // pieces 3. Total = (2 x 6 + 2 x 3) rows.
+  EXPECT_EQ(res.totalGhostElems, (2 * 6 + 2 * 3) * p.cols);
+  // The add_back loop is all-centered: zero communication.
+  auto res2 = sim.simulateLoop(setup.plan.loops[1], setup.partitions, depths);
+  EXPECT_EQ(res2.totalGhostElems, 0);
+  EXPECT_EQ(res2.worst.messages, 0);
+}
+
+TEST(ClusterSim, StepTimeIsSumOfLoops) {
+  apps::StencilApp::Params p;
+  p.rowsPerPiece = 8;
+  p.cols = 16;
+  p.pieces = 2;
+  apps::StencilApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+  ClusterSim sim(app.world(), MachineConfig{});
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  auto depths = ClusterSim::depthsOf(setup.plan.dpl);
+  double sum = 0;
+  for (const auto& pl : setup.plan.loops) {
+    sum += sim.simulateLoop(pl, setup.partitions, depths).seconds;
+  }
+  EXPECT_DOUBLE_EQ(sim.simulateStep(setup.plan, setup.partitions), sum);
+}
+
+}  // namespace
+}  // namespace dpart::sim

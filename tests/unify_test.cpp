@@ -1,0 +1,204 @@
+#include "constraint/unify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constraint/solver.hpp"
+
+namespace dpart::constraint {
+namespace {
+
+using dpl::image;
+using dpl::symbol;
+using dpl::unionOf;
+
+TEST(ConstraintGraph, ExtractsBothEdgeForms) {
+  System sys;
+  sys.declareSymbol("P1", "R");
+  sys.declareSymbol("P2", "R");
+  sys.declareSymbol("P3", "S");
+  sys.addSubset(symbol("P1"), symbol("P2"));
+  sys.addSubset(image(symbol("P1"), "f", "S"), symbol("P3"));
+  // Non-graph forms are ignored.
+  sys.addSubset(dpl::preimage("R", "f", symbol("P3")), symbol("P1"));
+  auto edges = constraintGraph(sys);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].from, "P1");
+  EXPECT_EQ(edges[0].to, "P2");
+  EXPECT_EQ(edges[0].label, "");
+  EXPECT_EQ(edges[1].from, "P1");
+  EXPECT_EQ(edges[1].to, "P3");
+  EXPECT_EQ(edges[1].label, "f");
+}
+
+TEST(CollapsePlainEdges, Example4FoldsCenteredAccesses) {
+  // Figure 6: P1 <= P2 and P1 <= P4 collapse onto P1 (Example 4).
+  System sys;
+  sys.declareSymbol("P1", "Particles");
+  sys.addComp(symbol("P1"), "Particles");
+  sys.declareSymbol("P2", "Particles");
+  sys.addSubset(symbol("P1"), symbol("P2"));
+  sys.declareSymbol("P3", "Cells");
+  sys.addSubset(image(symbol("P1"), "f1", "Cells"), symbol("P3"));
+  sys.declareSymbol("P4", "Particles");
+  sys.addSubset(symbol("P1"), symbol("P4"));
+
+  std::map<std::string, std::string> renames;
+  collapsePlainEdges(sys, renames, {});
+  EXPECT_EQ(renames.at("P2"), "P1");
+  EXPECT_EQ(renames.at("P4"), "P1");
+  EXPECT_FALSE(sys.hasSymbol("P2"));
+  EXPECT_FALSE(sys.hasSymbol("P4"));
+  EXPECT_TRUE(sys.hasSymbol("P3"));
+  // Exactly the image edge remains.
+  EXPECT_EQ(sys.subsets().size(), 1u);
+}
+
+TEST(CollapsePlainEdges, NeverEliminatesFixedPartitions) {
+  System sys;
+  sys.declareSymbol("P1", "R");
+  sys.declareSymbol("pExt", "R", /*fixed=*/true);
+  sys.addSubset(symbol("P1"), symbol("pExt"));
+  std::map<std::string, std::string> renames;
+  collapsePlainEdges(sys, renames, {});
+  EXPECT_TRUE(sys.hasSymbol("pExt"));
+  EXPECT_TRUE(renames.empty());
+}
+
+// The paper's Figure 9: loop 1 yields P1 ->cell P2 ->h P3; loop 2 yields
+// P4 (complete) ->h P5. Unification must produce P2 = P4 and P3 = P5.
+TEST(UnifySystems, Figure9CommonSubgraph) {
+  System c1;
+  c1.declareSymbol("P1", "Particles");
+  c1.addComp(symbol("P1"), "Particles");
+  c1.declareSymbol("P2", "Cells");
+  c1.addSubset(image(symbol("P1"), "cell", "Cells"), symbol("P2"));
+  c1.declareSymbol("P3", "Cells");
+  c1.addSubset(image(symbol("P2"), "h", "Cells"), symbol("P3"));
+
+  System c2;
+  c2.declareSymbol("P4", "Cells");
+  c2.addComp(symbol("P4"), "Cells");
+  c2.declareSymbol("P5", "Cells");
+  c2.addSubset(image(symbol("P4"), "h", "Cells"), symbol("P5"));
+
+  UnifyResult res = unifySystems({c1, c2}, {});
+  // c1 is bigger, so P4/P5 are renamed into P2/P3.
+  EXPECT_EQ(res.resolve("P4"), "P2");
+  EXPECT_EQ(res.resolve("P5"), "P3");
+  // The merged system has P2 complete (inherited from the iteration space
+  // of loop 2) and only two image subsets.
+  EXPECT_TRUE(res.system.requiresComp("P2"));
+  EXPECT_EQ(res.system.subsets().size(), 2u);
+
+  // Solving the unified system gives program B of Figure 2.
+  Solver solver(res.system, {});
+  Solution sol = solver.solve();
+  ASSERT_TRUE(sol.ok) << sol.failure;
+  EXPECT_EQ(sol.assignments.at("P2")->toString(), "equal(Cells)");
+  EXPECT_EQ(sol.assignments.at("P1")->toString(),
+            "preimage(Particles, cell, equal(Cells))");
+  EXPECT_EQ(sol.program().constructedPartitions(), 3u);
+}
+
+TEST(UnifySystems, InconsistentUnificationRejected) {
+  // Section 3.2's recursion hazard: unifying P1 and P2 in
+  // image(P1, f, R) <= P2 would create an unsatisfiable recursive
+  // constraint, so the unifier must leave them distinct.
+  System c1;
+  c1.declareSymbol("P1", "R");
+  c1.addComp(symbol("P1"), "R");
+  c1.declareSymbol("P2", "R");
+  c1.addSubset(image(symbol("P1"), "f", "R"), symbol("P2"));
+
+  System c2;
+  c2.declareSymbol("Q1", "R");
+  c2.addComp(symbol("Q1"), "R");
+  c2.declareSymbol("Q2", "R");
+  c2.addSubset(image(symbol("Q1"), "f", "R"), symbol("Q2"));
+
+  UnifyResult res = unifySystems({c1, c2}, {});
+  // The isomorphic chains unify pairwise (P1=Q1, P2=Q2): consistent.
+  EXPECT_EQ(res.resolve("Q1"), "P1");
+  EXPECT_EQ(res.resolve("Q2"), "P2");
+  // P1 and P2 themselves are never merged.
+  EXPECT_TRUE(res.system.hasSymbol("P1"));
+  EXPECT_TRUE(res.system.hasSymbol("P2"));
+  Solver solver(res.system, {});
+  EXPECT_TRUE(solver.solve().ok);
+}
+
+TEST(UnifySystems, Example6ExternalConstraint) {
+  // Loop constraints (post-collapse): P1 ->cell P2 ->h P3, with
+  // COMP(P1, Particles). External: pParticles ->cell pCells with both
+  // fixed, pParticles asserted complete+disjoint.
+  System loops;
+  loops.declareSymbol("P1", "Particles");
+  loops.addComp(symbol("P1"), "Particles");
+  loops.declareSymbol("P2", "Cells");
+  loops.addSubset(image(symbol("P1"), "cell", "Cells"), symbol("P2"));
+  loops.declareSymbol("P3", "Cells");
+  loops.addSubset(image(symbol("P2"), "h", "Cells"), symbol("P3"));
+
+  System ext;
+  ext.declareSymbol("pParticles", "Particles", /*fixed=*/true);
+  ext.declareSymbol("pCells", "Cells", /*fixed=*/true);
+  System extMarked;
+  extMarked.merge(ext, /*assumed=*/true);
+  extMarked.addSubset(image(symbol("pParticles"), "cell", "Cells"),
+                      symbol("pCells"), /*assumed=*/true);
+  extMarked.addComp(symbol("pParticles"), "Particles", /*assumed=*/true);
+  extMarked.addDisj(symbol("pParticles"), /*assumed=*/true);
+
+  UnifyResult res = unifySystems({loops, extMarked}, {});
+  // Fixed symbols survive: P1 -> pParticles, P2 -> pCells.
+  EXPECT_EQ(res.resolve("P1"), "pParticles");
+  EXPECT_EQ(res.resolve("P2"), "pCells");
+
+  Solver solver(res.system, {});
+  Solution sol = solver.solve();
+  ASSERT_TRUE(sol.ok) << sol.failure;
+  // Only P3 needs construction: image(pCells, h, Cells) — the paper's
+  // Example 6 outcome.
+  EXPECT_EQ(sol.assignments.size(), 1u);
+  EXPECT_EQ(sol.assignments.at("P3")->toString(),
+            "image(pCells, h, Cells)");
+}
+
+TEST(UnifySystems, NoCommonSubgraphJustConjoins) {
+  System c1;
+  c1.declareSymbol("P1", "R");
+  c1.addComp(symbol("P1"), "R");
+  System c2;
+  c2.declareSymbol("Q1", "S");
+  c2.addComp(symbol("Q1"), "S");
+  UnifyResult res = unifySystems({c1, c2}, {});
+  EXPECT_TRUE(res.renames.empty());
+  EXPECT_TRUE(res.system.hasSymbol("P1"));
+  EXPECT_TRUE(res.system.hasSymbol("Q1"));
+}
+
+TEST(UnifySystems, RegionMismatchBlocksUnification) {
+  System c1;
+  c1.declareSymbol("P1", "R");
+  c1.declareSymbol("P2", "S");
+  c1.addSubset(image(symbol("P1"), "f", "S"), symbol("P2"));
+  System c2;
+  c2.declareSymbol("Q1", "T");  // different region: cannot unify with P1
+  c2.declareSymbol("Q2", "S");
+  c2.addSubset(image(symbol("Q1"), "f", "S"), symbol("Q2"));
+  UnifyResult res = unifySystems({c1, c2}, {});
+  EXPECT_FALSE(res.renames.contains("Q1"));
+  EXPECT_TRUE(res.system.hasSymbol("Q1"));
+}
+
+TEST(UnifyResult, ResolveFollowsChains) {
+  UnifyResult res;
+  res.renames["A"] = "B";
+  res.renames["B"] = "C";
+  EXPECT_EQ(res.resolve("A"), "C");
+  EXPECT_EQ(res.resolve("C"), "C");
+  EXPECT_EQ(res.resolve("X"), "X");
+}
+
+}  // namespace
+}  // namespace dpart::constraint
