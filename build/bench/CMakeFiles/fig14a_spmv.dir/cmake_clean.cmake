@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14a_spmv.dir/fig14a_spmv.cpp.o"
+  "CMakeFiles/fig14a_spmv.dir/fig14a_spmv.cpp.o.d"
+  "fig14a_spmv"
+  "fig14a_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14a_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14b_stencil.dir/fig14b_stencil.cpp.o"
+  "CMakeFiles/fig14b_stencil.dir/fig14b_stencil.cpp.o.d"
+  "fig14b_stencil"
+  "fig14b_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14b_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14c_miniaero.dir/fig14c_miniaero.cpp.o"
+  "CMakeFiles/fig14c_miniaero.dir/fig14c_miniaero.cpp.o.d"
+  "fig14c_miniaero"
+  "fig14c_miniaero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14c_miniaero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14d_circuit.dir/fig14d_circuit.cpp.o"
+  "CMakeFiles/fig14d_circuit.dir/fig14d_circuit.cpp.o.d"
+  "fig14d_circuit"
+  "fig14d_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14d_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

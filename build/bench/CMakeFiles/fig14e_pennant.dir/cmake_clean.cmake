@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14e_pennant.dir/fig14e_pennant.cpp.o"
+  "CMakeFiles/fig14e_pennant.dir/fig14e_pennant.cpp.o.d"
+  "fig14e_pennant"
+  "fig14e_pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14e_pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_hints.dir/circuit_hints.cpp.o"
+  "CMakeFiles/circuit_hints.dir/circuit_hints.cpp.o.d"
+  "circuit_hints"
+  "circuit_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particles_cells.dir/particles_cells.cpp.o"
+  "CMakeFiles/particles_cells.dir/particles_cells.cpp.o.d"
+  "particles_cells"
+  "particles_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particles_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

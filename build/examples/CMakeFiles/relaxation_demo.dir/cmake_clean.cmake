@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation_demo.dir/relaxation_demo.cpp.o"
+  "CMakeFiles/relaxation_demo.dir/relaxation_demo.cpp.o.d"
+  "relaxation_demo"
+  "relaxation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

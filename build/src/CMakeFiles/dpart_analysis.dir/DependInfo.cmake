@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/infer.cpp" "src/CMakeFiles/dpart_analysis.dir/analysis/infer.cpp.o" "gcc" "src/CMakeFiles/dpart_analysis.dir/analysis/infer.cpp.o.d"
+  "/root/repo/src/analysis/parallelizable.cpp" "src/CMakeFiles/dpart_analysis.dir/analysis/parallelizable.cpp.o" "gcc" "src/CMakeFiles/dpart_analysis.dir/analysis/parallelizable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpart_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_dpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_analysis.dir/analysis/infer.cpp.o"
+  "CMakeFiles/dpart_analysis.dir/analysis/infer.cpp.o.d"
+  "CMakeFiles/dpart_analysis.dir/analysis/parallelizable.cpp.o"
+  "CMakeFiles/dpart_analysis.dir/analysis/parallelizable.cpp.o.d"
+  "libdpart_analysis.a"
+  "libdpart_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_common.cpp" "src/CMakeFiles/dpart_apps.dir/apps/app_common.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/app_common.cpp.o.d"
+  "/root/repo/src/apps/circuit.cpp" "src/CMakeFiles/dpart_apps.dir/apps/circuit.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/circuit.cpp.o.d"
+  "/root/repo/src/apps/miniaero.cpp" "src/CMakeFiles/dpart_apps.dir/apps/miniaero.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/miniaero.cpp.o.d"
+  "/root/repo/src/apps/pennant.cpp" "src/CMakeFiles/dpart_apps.dir/apps/pennant.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/pennant.cpp.o.d"
+  "/root/repo/src/apps/spmv.cpp" "src/CMakeFiles/dpart_apps.dir/apps/spmv.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/spmv.cpp.o.d"
+  "/root/repo/src/apps/stencil.cpp" "src/CMakeFiles/dpart_apps.dir/apps/stencil.cpp.o" "gcc" "src/CMakeFiles/dpart_apps.dir/apps/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_parallelize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_dpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_apps.dir/apps/app_common.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/app_common.cpp.o.d"
+  "CMakeFiles/dpart_apps.dir/apps/circuit.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/circuit.cpp.o.d"
+  "CMakeFiles/dpart_apps.dir/apps/miniaero.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/miniaero.cpp.o.d"
+  "CMakeFiles/dpart_apps.dir/apps/pennant.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/pennant.cpp.o.d"
+  "CMakeFiles/dpart_apps.dir/apps/spmv.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/spmv.cpp.o.d"
+  "CMakeFiles/dpart_apps.dir/apps/stencil.cpp.o"
+  "CMakeFiles/dpart_apps.dir/apps/stencil.cpp.o.d"
+  "libdpart_apps.a"
+  "libdpart_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

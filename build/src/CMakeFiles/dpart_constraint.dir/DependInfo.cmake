@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/entail.cpp" "src/CMakeFiles/dpart_constraint.dir/constraint/entail.cpp.o" "gcc" "src/CMakeFiles/dpart_constraint.dir/constraint/entail.cpp.o.d"
+  "/root/repo/src/constraint/graphviz.cpp" "src/CMakeFiles/dpart_constraint.dir/constraint/graphviz.cpp.o" "gcc" "src/CMakeFiles/dpart_constraint.dir/constraint/graphviz.cpp.o.d"
+  "/root/repo/src/constraint/solver.cpp" "src/CMakeFiles/dpart_constraint.dir/constraint/solver.cpp.o" "gcc" "src/CMakeFiles/dpart_constraint.dir/constraint/solver.cpp.o.d"
+  "/root/repo/src/constraint/system.cpp" "src/CMakeFiles/dpart_constraint.dir/constraint/system.cpp.o" "gcc" "src/CMakeFiles/dpart_constraint.dir/constraint/system.cpp.o.d"
+  "/root/repo/src/constraint/unify.cpp" "src/CMakeFiles/dpart_constraint.dir/constraint/unify.cpp.o" "gcc" "src/CMakeFiles/dpart_constraint.dir/constraint/unify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpart_dpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

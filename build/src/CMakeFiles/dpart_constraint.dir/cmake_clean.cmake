@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_constraint.dir/constraint/entail.cpp.o"
+  "CMakeFiles/dpart_constraint.dir/constraint/entail.cpp.o.d"
+  "CMakeFiles/dpart_constraint.dir/constraint/graphviz.cpp.o"
+  "CMakeFiles/dpart_constraint.dir/constraint/graphviz.cpp.o.d"
+  "CMakeFiles/dpart_constraint.dir/constraint/solver.cpp.o"
+  "CMakeFiles/dpart_constraint.dir/constraint/solver.cpp.o.d"
+  "CMakeFiles/dpart_constraint.dir/constraint/system.cpp.o"
+  "CMakeFiles/dpart_constraint.dir/constraint/system.cpp.o.d"
+  "CMakeFiles/dpart_constraint.dir/constraint/unify.cpp.o"
+  "CMakeFiles/dpart_constraint.dir/constraint/unify.cpp.o.d"
+  "libdpart_constraint.a"
+  "libdpart_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

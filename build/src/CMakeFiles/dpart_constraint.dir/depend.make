@@ -1,0 +1,2 @@
+# Empty dependencies file for dpart_constraint.
+# This may be replaced when dependencies are built.

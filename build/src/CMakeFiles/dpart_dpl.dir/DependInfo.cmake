@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpl/evaluator.cpp" "src/CMakeFiles/dpart_dpl.dir/dpl/evaluator.cpp.o" "gcc" "src/CMakeFiles/dpart_dpl.dir/dpl/evaluator.cpp.o.d"
+  "/root/repo/src/dpl/expr.cpp" "src/CMakeFiles/dpart_dpl.dir/dpl/expr.cpp.o" "gcc" "src/CMakeFiles/dpart_dpl.dir/dpl/expr.cpp.o.d"
+  "/root/repo/src/dpl/parser.cpp" "src/CMakeFiles/dpart_dpl.dir/dpl/parser.cpp.o" "gcc" "src/CMakeFiles/dpart_dpl.dir/dpl/parser.cpp.o.d"
+  "/root/repo/src/dpl/program.cpp" "src/CMakeFiles/dpart_dpl.dir/dpl/program.cpp.o" "gcc" "src/CMakeFiles/dpart_dpl.dir/dpl/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpart_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

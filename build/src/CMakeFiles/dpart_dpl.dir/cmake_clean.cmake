@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_dpl.dir/dpl/evaluator.cpp.o"
+  "CMakeFiles/dpart_dpl.dir/dpl/evaluator.cpp.o.d"
+  "CMakeFiles/dpart_dpl.dir/dpl/expr.cpp.o"
+  "CMakeFiles/dpart_dpl.dir/dpl/expr.cpp.o.d"
+  "CMakeFiles/dpart_dpl.dir/dpl/parser.cpp.o"
+  "CMakeFiles/dpart_dpl.dir/dpl/parser.cpp.o.d"
+  "CMakeFiles/dpart_dpl.dir/dpl/program.cpp.o"
+  "CMakeFiles/dpart_dpl.dir/dpl/program.cpp.o.d"
+  "libdpart_dpl.a"
+  "libdpart_dpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_dpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

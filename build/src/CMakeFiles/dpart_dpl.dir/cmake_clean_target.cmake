@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpart_dpl.a"
+)

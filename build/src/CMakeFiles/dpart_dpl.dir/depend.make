@@ -1,0 +1,2 @@
+# Empty dependencies file for dpart_dpl.
+# This may be replaced when dependencies are built.

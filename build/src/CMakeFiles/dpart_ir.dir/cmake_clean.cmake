@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_ir.dir/ir/interp.cpp.o"
+  "CMakeFiles/dpart_ir.dir/ir/interp.cpp.o.d"
+  "CMakeFiles/dpart_ir.dir/ir/ir.cpp.o"
+  "CMakeFiles/dpart_ir.dir/ir/ir.cpp.o.d"
+  "libdpart_ir.a"
+  "libdpart_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

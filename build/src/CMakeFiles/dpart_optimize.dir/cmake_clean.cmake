@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_optimize.dir/optimize/reduction_opt.cpp.o"
+  "CMakeFiles/dpart_optimize.dir/optimize/reduction_opt.cpp.o.d"
+  "libdpart_optimize.a"
+  "libdpart_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_parallelize.dir/parallelize/parallelize.cpp.o"
+  "CMakeFiles/dpart_parallelize.dir/parallelize/parallelize.cpp.o.d"
+  "libdpart_parallelize.a"
+  "libdpart_parallelize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_parallelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dpart_parallelize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/region/dpl_ops.cpp" "src/CMakeFiles/dpart_region.dir/region/dpl_ops.cpp.o" "gcc" "src/CMakeFiles/dpart_region.dir/region/dpl_ops.cpp.o.d"
+  "/root/repo/src/region/index_set.cpp" "src/CMakeFiles/dpart_region.dir/region/index_set.cpp.o" "gcc" "src/CMakeFiles/dpart_region.dir/region/index_set.cpp.o.d"
+  "/root/repo/src/region/partition.cpp" "src/CMakeFiles/dpart_region.dir/region/partition.cpp.o" "gcc" "src/CMakeFiles/dpart_region.dir/region/partition.cpp.o.d"
+  "/root/repo/src/region/region.cpp" "src/CMakeFiles/dpart_region.dir/region/region.cpp.o" "gcc" "src/CMakeFiles/dpart_region.dir/region/region.cpp.o.d"
+  "/root/repo/src/region/world.cpp" "src/CMakeFiles/dpart_region.dir/region/world.cpp.o" "gcc" "src/CMakeFiles/dpart_region.dir/region/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

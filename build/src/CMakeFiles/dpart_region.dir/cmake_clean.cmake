@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_region.dir/region/dpl_ops.cpp.o"
+  "CMakeFiles/dpart_region.dir/region/dpl_ops.cpp.o.d"
+  "CMakeFiles/dpart_region.dir/region/index_set.cpp.o"
+  "CMakeFiles/dpart_region.dir/region/index_set.cpp.o.d"
+  "CMakeFiles/dpart_region.dir/region/partition.cpp.o"
+  "CMakeFiles/dpart_region.dir/region/partition.cpp.o.d"
+  "CMakeFiles/dpart_region.dir/region/region.cpp.o"
+  "CMakeFiles/dpart_region.dir/region/region.cpp.o.d"
+  "CMakeFiles/dpart_region.dir/region/world.cpp.o"
+  "CMakeFiles/dpart_region.dir/region/world.cpp.o.d"
+  "libdpart_region.a"
+  "libdpart_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_runtime.dir/runtime/executor.cpp.o"
+  "CMakeFiles/dpart_runtime.dir/runtime/executor.cpp.o.d"
+  "CMakeFiles/dpart_runtime.dir/runtime/privileges.cpp.o"
+  "CMakeFiles/dpart_runtime.dir/runtime/privileges.cpp.o.d"
+  "CMakeFiles/dpart_runtime.dir/runtime/thread_pool.cpp.o"
+  "CMakeFiles/dpart_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "libdpart_runtime.a"
+  "libdpart_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpart_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/dpart_sim.dir/sim/cluster.cpp.o.d"
+  "libdpart_sim.a"
+  "libdpart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

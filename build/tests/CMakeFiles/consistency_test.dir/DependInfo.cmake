@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/consistency_test.cpp" "tests/CMakeFiles/consistency_test.dir/consistency_test.cpp.o" "gcc" "tests/CMakeFiles/consistency_test.dir/consistency_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpart_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_parallelize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_optimize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_dpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpart_region.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

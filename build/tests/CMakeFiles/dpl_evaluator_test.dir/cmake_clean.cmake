@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpl_evaluator_test.dir/dpl_evaluator_test.cpp.o"
+  "CMakeFiles/dpl_evaluator_test.dir/dpl_evaluator_test.cpp.o.d"
+  "dpl_evaluator_test"
+  "dpl_evaluator_test.pdb"
+  "dpl_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpl_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

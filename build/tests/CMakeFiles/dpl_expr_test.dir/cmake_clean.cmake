@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpl_expr_test.dir/dpl_expr_test.cpp.o"
+  "CMakeFiles/dpl_expr_test.dir/dpl_expr_test.cpp.o.d"
+  "dpl_expr_test"
+  "dpl_expr_test.pdb"
+  "dpl_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpl_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

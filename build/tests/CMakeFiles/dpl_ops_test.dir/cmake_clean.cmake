@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpl_ops_test.dir/dpl_ops_test.cpp.o"
+  "CMakeFiles/dpl_ops_test.dir/dpl_ops_test.cpp.o.d"
+  "dpl_ops_test"
+  "dpl_ops_test.pdb"
+  "dpl_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpl_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

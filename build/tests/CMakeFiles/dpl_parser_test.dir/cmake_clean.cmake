@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpl_parser_test.dir/dpl_parser_test.cpp.o"
+  "CMakeFiles/dpl_parser_test.dir/dpl_parser_test.cpp.o.d"
+  "dpl_parser_test"
+  "dpl_parser_test.pdb"
+  "dpl_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

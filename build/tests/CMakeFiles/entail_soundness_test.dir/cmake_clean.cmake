@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entail_soundness_test.dir/entail_soundness_test.cpp.o"
+  "CMakeFiles/entail_soundness_test.dir/entail_soundness_test.cpp.o.d"
+  "entail_soundness_test"
+  "entail_soundness_test.pdb"
+  "entail_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entail_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

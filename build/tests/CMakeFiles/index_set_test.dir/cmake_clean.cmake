@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_set_test.dir/index_set_test.cpp.o"
+  "CMakeFiles/index_set_test.dir/index_set_test.cpp.o.d"
+  "index_set_test"
+  "index_set_test.pdb"
+  "index_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

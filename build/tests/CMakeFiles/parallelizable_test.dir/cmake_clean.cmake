@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelizable_test.dir/parallelizable_test.cpp.o"
+  "CMakeFiles/parallelizable_test.dir/parallelizable_test.cpp.o.d"
+  "parallelizable_test"
+  "parallelizable_test.pdb"
+  "parallelizable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelizable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelize_test.dir/parallelize_test.cpp.o"
+  "CMakeFiles/parallelize_test.dir/parallelize_test.cpp.o.d"
+  "parallelize_test"
+  "parallelize_test.pdb"
+  "parallelize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduce_strategies_test.dir/reduce_strategies_test.cpp.o"
+  "CMakeFiles/reduce_strategies_test.dir/reduce_strategies_test.cpp.o.d"
+  "reduce_strategies_test"
+  "reduce_strategies_test.pdb"
+  "reduce_strategies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduce_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

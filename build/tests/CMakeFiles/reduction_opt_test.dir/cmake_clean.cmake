@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction_opt_test.dir/reduction_opt_test.cpp.o"
+  "CMakeFiles/reduction_opt_test.dir/reduction_opt_test.cpp.o.d"
+  "reduction_opt_test"
+  "reduction_opt_test.pdb"
+  "reduction_opt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction_opt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

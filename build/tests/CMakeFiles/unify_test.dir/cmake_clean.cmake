@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unify_test.dir/unify_test.cpp.o"
+  "CMakeFiles/unify_test.dir/unify_test.cpp.o.d"
+  "unify_test"
+  "unify_test.pdb"
+  "unify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/index_set_test[1]_include.cmake")
+include("/root/repo/build/tests/region_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/dpl_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/dpl_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/dpl_evaluator_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/parallelizable_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/unify_test[1]_include.cmake")
+include("/root/repo/build/tests/reduction_opt_test[1]_include.cmake")
+include("/root/repo/build/tests/parallelize_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/random_program_test[1]_include.cmake")
+include("/root/repo/build/tests/reduce_strategies_test[1]_include.cmake")
+include("/root/repo/build/tests/dpl_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/entail_soundness_test[1]_include.cmake")
+include("/root/repo/build/tests/figure_shapes_test[1]_include.cmake")
