@@ -1,0 +1,228 @@
+// Microbenchmark for the DPL operator kernels: times each operator at
+// several region sizes and piece counts, serial vs pooled, and emits one
+// machine-readable JSON line per measurement (the seed for the BENCH_*.json
+// perf trajectory). Also demonstrates the evaluator's expression memo cache
+// on a program with shared subexpressions.
+//
+// Run: dpl_ops_bench [--quick]
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpl/evaluator.hpp"
+#include "region/dpl_ops.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using dpart::Rng;
+using dpart::ThreadPool;
+using dpart::Timer;
+using dpart::region::FieldType;
+using dpart::region::Index;
+using dpart::region::IndexSet;
+using dpart::region::Partition;
+using dpart::region::Region;
+using dpart::region::Run;
+using dpart::region::World;
+
+struct Workload {
+  std::unique_ptr<World> world;
+  Partition src;  // equal partition of Src, the operand of image/set-ops
+  Partition dst;  // equal partition of Dst, the operand of preimage
+};
+
+// Src -> Dst via a clustered pointer field (CSR-flavoured locality with a
+// sprinkle of remote references, like the circuit generator) plus a
+// range-valued field for the generalized IMAGE/PREIMAGE path.
+Workload makeWorkload(Index n, std::size_t pieces) {
+  Workload w;
+  w.world = std::make_unique<World>();
+  Region& src = w.world->addRegion("Src", n);
+  w.world->addRegion("Dst", n);
+  src.addField("to", FieldType::Idx);
+  src.addField("span", FieldType::Range);
+  auto to = src.idx("to");
+  auto span = src.range("span");
+  Rng rng(0x5eed);
+  for (Index i = 0; i < n; ++i) {
+    const bool remote = rng.chance(0.05);
+    to[static_cast<std::size_t>(i)] =
+        remote ? rng.range(0, n) : std::min<Index>(n - 1, i + rng.range(0, 16));
+    const Index lo = std::min<Index>(n - 1, i);
+    span[static_cast<std::size_t>(i)] = Run{lo, std::min<Index>(n, lo + 4)};
+  }
+  w.world->defineFieldFn("Src", "to", "Dst");
+  w.world->defineRangeFn("Src", "span", "Dst");
+  w.src = dpart::region::equalPartition(*w.world, "Src", pieces);
+  w.dst = dpart::region::equalPartition(*w.world, "Dst", pieces);
+  return w;
+}
+
+double bestOfMs(int reps, const std::function<Partition()>& op,
+                std::uint64_t* runsOut) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    Partition p = op();
+    best = std::min(best, t.millis());
+    std::uint64_t runs = 0;
+    for (std::size_t j = 0; j < p.count(); ++j) runs += p.sub(j).runCount();
+    *runsOut = runs;
+  }
+  return best;
+}
+
+void emit(const std::string& op, Index n, std::size_t pieces,
+          std::size_t threads, const char* mode, double ms,
+          std::uint64_t runs) {
+  std::cout << "{\"bench\":\"dpl_ops\",\"op\":\"" << op << "\",\"n\":" << n
+            << ",\"pieces\":" << pieces << ",\"threads\":" << threads
+            << ",\"mode\":\"" << mode << "\",\"ms\":" << ms
+            << ",\"runs\":" << runs << "}\n";
+}
+
+struct Speedup {
+  std::string op;
+  double serialMs = 0;
+  double parallelMs = 0;
+};
+
+void benchSize(Index n, std::size_t pieces, ThreadPool& pool, int reps,
+               std::vector<Speedup>& table) {
+  Workload w = makeWorkload(n, pieces);
+  const World& world = *w.world;
+  const std::size_t threads = pool.threadCount();
+
+  struct OpCase {
+    std::string name;
+    std::function<Partition(ThreadPool*)> run;
+  };
+  const Partition shifted = dpart::region::imagePartition(
+      world, w.src, "Src[.].to", "Dst");  // a second, fragmented operand
+  std::vector<OpCase> cases;
+  cases.push_back({"image", [&](ThreadPool* p) {
+                     return dpart::region::imagePartition(world, w.src,
+                                                          "Src[.].to", "Dst", p);
+                   }});
+  cases.push_back({"IMAGE", [&](ThreadPool* p) {
+                     return dpart::region::imagePartition(
+                         world, w.src, "Src[.].span", "Dst", p);
+                   }});
+  cases.push_back({"preimage", [&](ThreadPool* p) {
+                     return dpart::region::preimagePartition(
+                         world, "Src", "Src[.].to", w.dst, p);
+                   }});
+  cases.push_back({"PREIMAGE", [&](ThreadPool* p) {
+                     return dpart::region::preimagePartition(
+                         world, "Src", "Src[.].span", w.dst, p);
+                   }});
+  cases.push_back({"union", [&](ThreadPool* p) {
+                     return dpart::region::unionPartitions(w.dst, shifted, p);
+                   }});
+  cases.push_back({"intersect", [&](ThreadPool* p) {
+                     return dpart::region::intersectPartitions(w.dst, shifted,
+                                                               p);
+                   }});
+  cases.push_back({"subtract", [&](ThreadPool* p) {
+                     return dpart::region::subtractPartitions(w.dst, shifted,
+                                                              p);
+                   }});
+
+  for (const OpCase& c : cases) {
+    std::uint64_t runsSerial = 0;
+    std::uint64_t runsParallel = 0;
+    const double serialMs =
+        bestOfMs(reps, [&] { return c.run(nullptr); }, &runsSerial);
+    const double parallelMs =
+        bestOfMs(reps, [&] { return c.run(&pool); }, &runsParallel);
+    if (runsSerial != runsParallel) {
+      std::cerr << "MISMATCH: " << c.name << " serial/parallel runs differ\n";
+      std::exit(1);
+    }
+    emit(c.name, n, pieces, 1, "serial", serialMs, runsSerial);
+    emit(c.name, n, pieces, threads, "parallel", parallelMs, runsParallel);
+    table.push_back({c.name, serialMs, parallelMs});
+  }
+}
+
+// A program whose RHSs share subtrees the way unified constraint graphs do;
+// evaluating it twice shows the memo cache short-circuiting the second pass.
+void benchMemoization(Index n, std::size_t pieces, std::size_t threads) {
+  Workload w = makeWorkload(n, pieces);
+  dpart::dpl::Program prog;
+  using namespace dpart::dpl;
+  prog.append("PD", equalOf("Dst"));
+  prog.append("P1", preimage("Src", "Src[.].to", symbol("PD")));
+  prog.append("P2", unionOf(preimage("Src", "Src[.].to", symbol("PD")),
+                            preimage("Src", "Src[.].span", symbol("PD"))));
+  prog.append("P3", intersectOf(image(symbol("P2"), "Src[.].to", "Dst"),
+                                image(symbol("P2"), "Src[.].to", "Dst")));
+
+  Evaluator cold(*w.world, pieces);
+  cold.setMemoize(false);
+  Timer tCold;
+  cold.run(prog);
+  const double coldMs = tCold.millis();
+
+  Evaluator warm(*w.world, pieces, threads);
+  Timer tWarm;
+  warm.run(prog);
+  const double warmMs = tWarm.millis();
+
+  bool identical = true;
+  for (const auto& [name, part] : cold.env()) {
+    identical = identical && part == warm.partition(name);
+  }
+  std::cout << "{\"bench\":\"dpl_memo\",\"n\":" << n
+            << ",\"pieces\":" << pieces << ",\"threads\":" << threads
+            << ",\"serial_nomemo_ms\":" << coldMs
+            << ",\"parallel_memo_ms\":" << warmMs
+            << ",\"cache_hits\":" << warm.counters().cacheHits
+            << ",\"cache_misses\":" << warm.counters().cacheMisses
+            << ",\"identical\":" << (identical ? "true" : "false")
+            << ",\"counters\":" << warm.counters().toJson() << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick =
+      argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  ThreadPool pool(0);  // hardware concurrency
+  const int reps = quick ? 2 : 3;
+
+  std::vector<Speedup> table;
+  struct Config {
+    Index n;
+    std::size_t pieces;
+  };
+  std::vector<Config> configs = quick
+      ? std::vector<Config>{{1 << 16, 16}}
+      : std::vector<Config>{{1 << 16, 4}, {1 << 18, 16}, {1 << 20, 16},
+                            {1 << 20, 64}};
+  for (const Config& cfg : configs) {
+    benchSize(cfg.n, cfg.pieces, pool, reps, table);
+  }
+  benchMemoization(quick ? 1 << 16 : 1 << 20, 16, pool.threadCount());
+
+  double serialTotal = 0;
+  double parallelTotal = 0;
+  for (const Speedup& s : table) {
+    serialTotal += s.serialMs;
+    parallelTotal += s.parallelMs;
+  }
+  std::cout << "{\"bench\":\"dpl_ops_summary\",\"threads\":"
+            << pool.threadCount() << ",\"serial_total_ms\":" << serialTotal
+            << ",\"parallel_total_ms\":" << parallelTotal
+            << ",\"speedup\":" << (serialTotal / std::max(1e-9, parallelTotal))
+            << "}\n";
+  return 0;
+}

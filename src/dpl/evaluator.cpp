@@ -1,12 +1,28 @@
 #include "dpl/evaluator.hpp"
 
+#include <utility>
+
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace dpart::dpl {
 
 using region::Partition;
 
+namespace {
+
+std::uint64_t runsProduced(const Partition& p) {
+  std::uint64_t total = 0;
+  for (std::size_t j = 0; j < p.count(); ++j) total += p.sub(j).runCount();
+  return total;
+}
+
+}  // namespace
+
 void Evaluator::bind(const std::string& name, Partition partition) {
+  // A fresh generation per (re)binding: cache keys embed the generation, so
+  // entries computed against an older binding can never be returned again.
+  bindingGen_[name] = ++nextGen_;
   env_.insert_or_assign(name, std::move(partition));
 }
 
@@ -16,26 +32,115 @@ const Partition& Evaluator::partition(const std::string& name) const {
   return it->second;
 }
 
-Partition Evaluator::eval(const ExprPtr& expr) const {
+std::string Evaluator::cacheKey(const ExprPtr& expr) const {
   switch (expr->kind) {
-    case ExprKind::Symbol:
-      return partition(expr->name);
+    case ExprKind::Symbol: {
+      auto it = bindingGen_.find(expr->name);
+      // Unbound symbols keep a readable key; evaluation will throw before
+      // anything is inserted under it.
+      if (it == bindingGen_.end()) return "S?" + expr->name;
+      return "S" + std::to_string(it->second);
+    }
     case ExprKind::Union:
-      return region::unionPartitions(eval(expr->lhs), eval(expr->rhs));
-    case ExprKind::Intersect:
-      return region::intersectPartitions(eval(expr->lhs), eval(expr->rhs));
+    case ExprKind::Intersect: {
+      // u and n are commutative and the kernels are symmetric, so canonical
+      // operand order lets `A u B` hit the entry cached for `B u A`.
+      std::string l = cacheKey(expr->lhs);
+      std::string r = cacheKey(expr->rhs);
+      if (r < l) std::swap(l, r);
+      return (expr->kind == ExprKind::Union ? "U(" : "I(") + l + "," + r + ")";
+    }
     case ExprKind::Subtract:
-      return region::subtractPartitions(eval(expr->lhs), eval(expr->rhs));
+      return "D(" + cacheKey(expr->lhs) + "," + cacheKey(expr->rhs) + ")";
     case ExprKind::Image:
-      return region::imagePartition(world_, eval(expr->arg), expr->fn,
-                                    expr->region);
+      return "img(" + expr->fn + ";" + expr->region + ";" +
+             cacheKey(expr->arg) + ")";
     case ExprKind::Preimage:
-      return region::preimagePartition(world_, expr->region, expr->fn,
-                                       eval(expr->arg));
+      return "pre(" + expr->region + ";" + expr->fn + ";" +
+             cacheKey(expr->arg) + ")";
     case ExprKind::Equal:
-      return region::equalPartition(world_, expr->region, pieces_);
+      return "E(" + expr->region + "," + std::to_string(pieces_) + ")";
   }
   DPART_UNREACHABLE("bad ExprKind");
+}
+
+Partition Evaluator::eval(const ExprPtr& expr) const { return evalMemo(expr); }
+
+Partition Evaluator::evalMemo(const ExprPtr& expr) const {
+  // Bare symbols are env lookups; copying out of the cache would cost the
+  // same as copying out of the environment, so they bypass memoization.
+  if (expr->kind == ExprKind::Symbol) return partition(expr->name);
+
+  std::string key;
+  if (memoize_) {
+    key = cacheKey(expr);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++counters_.cacheHits;
+      return it->second;
+    }
+    ++counters_.cacheMisses;
+  }
+
+  Partition result;
+  switch (expr->kind) {
+    case ExprKind::Symbol:
+      DPART_UNREACHABLE("handled above");
+    case ExprKind::Union:
+    case ExprKind::Intersect:
+    case ExprKind::Subtract: {
+      const Partition lhs = evalMemo(expr->lhs);
+      const Partition rhs = evalMemo(expr->rhs);
+      const std::uint64_t elems = static_cast<std::uint64_t>(
+          lhs.totalElements() + rhs.totalElements());
+      Timer t;
+      std::size_t op = PerfCounters::kUnion;
+      if (expr->kind == ExprKind::Union) {
+        result = region::unionPartitions(lhs, rhs, pool_);
+      } else if (expr->kind == ExprKind::Intersect) {
+        result = region::intersectPartitions(lhs, rhs, pool_);
+        op = PerfCounters::kIntersect;
+      } else {
+        result = region::subtractPartitions(lhs, rhs, pool_);
+        op = PerfCounters::kSubtract;
+      }
+      counters_.ops[op].record(t.seconds(), elems, runsProduced(result));
+      break;
+    }
+    case ExprKind::Image: {
+      const Partition arg = evalMemo(expr->arg);
+      Timer t;
+      result = region::imagePartition(world_, arg, expr->fn, expr->region,
+                                      pool_);
+      counters_.ops[PerfCounters::kImage].record(
+          t.seconds(), static_cast<std::uint64_t>(arg.totalElements()),
+          runsProduced(result));
+      break;
+    }
+    case ExprKind::Preimage: {
+      const Partition arg = evalMemo(expr->arg);
+      Timer t;
+      result = region::preimagePartition(world_, expr->region, expr->fn, arg,
+                                         pool_);
+      counters_.ops[PerfCounters::kPreimage].record(
+          t.seconds(),
+          static_cast<std::uint64_t>(world_.region(expr->region).size()),
+          runsProduced(result));
+      break;
+    }
+    case ExprKind::Equal: {
+      Timer t;
+      result = region::equalPartition(world_, expr->region, pieces_);
+      counters_.ops[PerfCounters::kEqual].record(
+          t.seconds(),
+          static_cast<std::uint64_t>(world_.region(expr->region).size()),
+          runsProduced(result));
+      break;
+    }
+  }
+
+  if (memoize_) cache_.emplace(std::move(key), result);
+  return result;
 }
 
 const std::map<std::string, Partition>& Evaluator::run(

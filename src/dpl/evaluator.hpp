@@ -1,12 +1,17 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "dpl/program.hpp"
 #include "region/dpl_ops.hpp"
 #include "region/partition.hpp"
 #include "region/world.hpp"
+#include "support/perf_counters.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dpart::dpl {
 
@@ -16,10 +21,37 @@ namespace dpart::dpl {
 /// before running; `equal(R)` nodes — whose piece counts are elided in the
 /// constraint language — are instantiated with the evaluator's piece count,
 /// which corresponds to the number of parallel tasks / nodes.
+///
+/// Materialization pipeline (see DESIGN.md "Evaluation pipeline"):
+///  - Kernels run on a ThreadPool the evaluator owns or borrows (serial when
+///    absent): per-subregion fan-out for image and the set operators, a
+///    sharded target scan for preimage.
+///  - Results are memoized per structurally-hashed subexpression (operand
+///    order canonicalized for the commutative u / n), so the duplicated
+///    subtrees that Algorithm 3's unification emits in bulk — and repeated
+///    preimage(...) chains — materialize once. Symbols key on a per-binding
+///    generation, so rebinding invalidates exactly the entries that depended
+///    on the old binding.
+///  - PerfCounters record per-operator wall time, elements touched, runs
+///    produced, and cache hits/misses.
 class Evaluator {
  public:
+  /// Serial evaluation (no pool). The reference configuration the
+  /// differential tests compare the parallel pipeline against.
   Evaluator(const region::World& world, std::size_t pieces)
       : world_(world), pieces_(pieces) {}
+
+  /// Owns a pool with the given worker count (0 = hardware concurrency).
+  Evaluator(const region::World& world, std::size_t pieces,
+            std::size_t threads)
+      : world_(world),
+        pieces_(pieces),
+        ownedPool_(std::make_unique<ThreadPool>(threads)),
+        pool_(ownedPool_.get()) {}
+
+  /// Borrows an existing pool (e.g. the PlanExecutor's task pool).
+  Evaluator(const region::World& world, std::size_t pieces, ThreadPool& pool)
+      : world_(world), pieces_(pieces), pool_(&pool) {}
 
   /// Binds a symbol to an externally constructed partition.
   void bind(const std::string& name, region::Partition partition);
@@ -43,10 +75,35 @@ class Evaluator {
 
   [[nodiscard]] std::size_t pieces() const { return pieces_; }
 
+  /// Memoization is on by default; turning it off makes every eval()
+  /// recompute from scratch (used by the differential tests' reference).
+  void setMemoize(bool on) { memoize_ = on; }
+  [[nodiscard]] bool memoize() const { return memoize_; }
+
+  [[nodiscard]] const PerfCounters& counters() const { return counters_; }
+  void resetCounters() { counters_.reset(); }
+
+  /// The pool kernels run on; nullptr when evaluating serially.
+  [[nodiscard]] ThreadPool* pool() const { return pool_; }
+
  private:
+  /// Evaluates expr, consulting/populating the memo cache at every
+  /// non-symbol node.
+  region::Partition evalMemo(const ExprPtr& expr) const;
+  [[nodiscard]] std::string cacheKey(const ExprPtr& expr) const;
+
   const region::World& world_;
   std::size_t pieces_;
   std::map<std::string, region::Partition> env_;
+  /// Monotone generation per bound symbol; part of every cache key that
+  /// mentions the symbol, so rebinding never resurrects a stale entry.
+  std::map<std::string, std::uint64_t> bindingGen_;
+  std::uint64_t nextGen_ = 0;
+  bool memoize_ = true;
+  mutable std::unordered_map<std::string, region::Partition> cache_;
+  mutable PerfCounters counters_;
+  std::unique_ptr<ThreadPool> ownedPool_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace dpart::dpl

@@ -61,6 +61,10 @@ std::set<std::string> AutoParallelizer::rangeFnIds() const {
 
 ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   ParallelPlan result;
+  // The plan keeps its own copy of the program: PlannedLoop::loop points at
+  // these loops, so the plan must not dangle when the caller's program is a
+  // temporary (or is destroyed before the plan is executed).
+  result.program = std::make_shared<const ir::Program>(program);
   const std::set<std::string> rangeFns = rangeFnIds();
   Timer timer;
 
@@ -73,7 +77,7 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   };
   std::vector<LoopState> loops;
   constraint::SymbolGen gen;
-  for (const ir::Loop& loop : program.loops) {
+  for (const ir::Loop& loop : result.program->loops) {
     LoopState st;
     st.loop = &loop;
     st.accesses = analysis::checkParallelizable(world_, loop);
@@ -220,25 +224,50 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
       pl.accessPartition[stmtId] = finalName(sym);
     }
 
-    // Group this loop's buffered reduces by target region for the
-    // intersection of private sub-partitions (Section 5.2).
-    std::map<std::string, std::vector<ReducePlan*>> byRegion;
+    auto stmtOf = [&](int id) {
+      const ir::Stmt* stmt = nullptr;
+      st.loop->forEachStmt([&](const ir::Stmt& s) {
+        if (s.id == id) stmt = &s;
+      });
+      DPART_CHECK(stmt != nullptr);
+      return stmt;
+    };
+
+    // In-place ("Direct") reduction needs more than a disjoint partition
+    // per access: when several reduce stmts hit the same field through
+    // different partitions, task j1's subregion of one partition can
+    // overlap task j2's subregion of the other, and the unsynchronized
+    // read-modify-write races (and can lose contributions). A group of
+    // reduces into one field may go direct only if they all use the same
+    // provably disjoint partition — and the iteration partition is
+    // disjoint too, so no duplicated iteration applies a reduce twice.
+    const bool iterDisjoint =
+        ent.proveDisj(assignedExpr(pl.iterPartition));
+    std::map<std::pair<std::string, std::string>, std::vector<ReducePlan*>>
+        byField;
     for (ReducePlan& rp : st.reduction.reduces) {
       rp.partition = finalName(rp.partition);
       if (rp.strategy != ReduceStrategy::Buffered) continue;
-      if (ent.proveDisj(assignedExpr(rp.partition))) {
-        // A disjoint reduction partition needs no buffer at all: each
-        // target receives contributions from exactly one task.
-        rp.strategy = ReduceStrategy::Direct;
-        continue;
+      const ir::Stmt* stmt = stmtOf(rp.stmtId);
+      byField[{stmt->region, stmt->field}].push_back(&rp);
+    }
+
+    // Reduces that stay buffered, grouped by target region for the
+    // intersection of private sub-partitions (Section 5.2).
+    std::map<std::string, std::vector<ReducePlan*>> byRegion;
+    for (auto& [key, plans] : byField) {
+      bool direct = iterDisjoint &&
+                    ent.proveDisj(assignedExpr(plans.front()->partition));
+      for (const ReducePlan* rp : plans) {
+        direct = direct && rp->partition == plans.front()->partition;
       }
-      // Locate the reduce stmt to find its region.
-      const ir::Stmt* stmt = nullptr;
-      st.loop->forEachStmt([&](const ir::Stmt& s) {
-        if (s.id == rp.stmtId) stmt = &s;
-      });
-      DPART_CHECK(stmt != nullptr);
-      byRegion[stmt->region].push_back(&rp);
+      for (ReducePlan* rp : plans) {
+        if (direct) {
+          rp->strategy = ReduceStrategy::Direct;
+        } else {
+          byRegion[key.first].push_back(rp);
+        }
+      }
     }
 
     // PENNANT Hint2's mechanism: a user-provided partition FIX is a valid

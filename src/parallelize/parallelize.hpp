@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -55,6 +56,10 @@ struct PlannedLoop {
 /// The full result of auto-parallelization: a DPL program constructing every
 /// needed partition, plus per-loop execution plans.
 struct ParallelPlan {
+  /// Owned copy of the analyzed program. Every `PlannedLoop::loop` points
+  /// into this copy, so a plan stays valid (and copyable/movable) even when
+  /// the program passed to `plan()` was a temporary.
+  std::shared_ptr<const ir::Program> program;
   dpl::Program dpl;
   std::vector<PlannedLoop> loops;
   constraint::System system;  ///< final resolved system (diagnostics)

@@ -1,8 +1,10 @@
 #include "region/dpl_ops.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace dpart::region {
 
@@ -10,6 +12,8 @@ namespace {
 
 // Interval index over the runs of a partition, for answering "which
 // subregions contain index v / overlap run [a,b)" without a full scan.
+// Immutable after construction, so the sharded preimage scan shares one
+// instance across workers.
 class RunIndex {
  public:
   explicit RunIndex(const Partition& p) {
@@ -55,6 +59,16 @@ class RunIndex {
   std::vector<Index> maxHiPrefix_;
 };
 
+// Runs fn(0..n-1), fanning out across the pool when one is supplied.
+template <typename Fn>
+void forSubtasks(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool != nullptr && n > 1) {
+    pool->parallelFor(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 Partition equalPartition(const World& world, const std::string& regionName,
@@ -76,61 +90,133 @@ Partition equalPartition(const World& world, const std::string& regionName,
 
 Partition imagePartition(const World& world, const Partition& src,
                          const std::string& fnId,
-                         const std::string& targetRegion) {
+                         const std::string& targetRegion, ThreadPool* pool) {
   const FnDef& f = world.fn(fnId);
+  const BatchFn fn(world, f);
   const Index targetSize = world.region(targetRegion).size();
-  std::vector<IndexSet> subs;
-  subs.reserve(src.count());
-  for (std::size_t j = 0; j < src.count(); ++j) {
-    std::vector<Run> runs;
+  std::vector<IndexSet> subs(src.count());
+  forSubtasks(pool, src.count(), [&](std::size_t j) {
+    std::vector<Run> out;
+    out.reserve(static_cast<std::size_t>(
+        std::min<Index>(src.sub(j).size(), targetSize)));
     if (f.isRangeValued()) {
-      src.sub(j).forEach([&](Index k) {
-        Run r = world.evalRange(fnId, k);
-        r.lo = std::max<Index>(r.lo, 0);
-        r.hi = std::min(r.hi, targetSize);
-        if (r.hi > r.lo) runs.push_back(r);
-      });
+      std::vector<Run> vals;
+      for (const Run& r : src.sub(j).runs()) {
+        vals.resize(static_cast<std::size_t>(r.size()));
+        fn.ranges(r, vals);
+        for (Run v : vals) {
+          v.lo = std::max<Index>(v.lo, 0);
+          v.hi = std::min(v.hi, targetSize);
+          if (v.hi > v.lo) out.push_back(v);
+        }
+      }
     } else {
-      src.sub(j).forEach([&](Index k) {
-        const Index v = world.evalPoint(fnId, k);
-        if (v >= 0 && v < targetSize) runs.push_back(Run{v, v + 1});
-      });
+      std::vector<Index> vals;
+      for (const Run& r : src.sub(j).runs()) {
+        vals.resize(static_cast<std::size_t>(r.size()));
+        fn.points(r, vals);
+        for (const Index v : vals) {
+          if (v < 0 || v >= targetSize) continue;
+          // Tail-extension keeps monotone maps (identity, affine shifts, CSR
+          // pointer fields) from emitting one run per element ahead of the
+          // final sort+coalesce.
+          if (!out.empty() && v >= out.back().lo && v <= out.back().hi) {
+            out.back().hi = std::max(out.back().hi, v + 1);
+          } else {
+            out.push_back(Run{v, v + 1});
+          }
+        }
+      }
     }
-    subs.push_back(IndexSet::fromRuns(std::move(runs)));
-  }
+    subs[j] = IndexSet::fromRuns(std::move(out));
+  });
   return Partition(targetRegion, std::move(subs));
 }
 
 Partition preimagePartition(const World& world,
                             const std::string& targetRegion,
-                            const std::string& fnId, const Partition& src) {
+                            const std::string& fnId, const Partition& src,
+                            ThreadPool* pool) {
   const FnDef& f = world.fn(fnId);
+  const BatchFn fn(world, f);
   const Index targetSize = world.region(targetRegion).size();
   const RunIndex lookup(src);
-  std::vector<std::vector<Run>> runs(src.count());
-  for (Index k = 0; k < targetSize; ++k) {
-    Index a = 0;
-    Index b = 0;
-    if (f.isRangeValued()) {
-      const Run r = world.evalRange(fnId, k);
-      a = r.lo;
-      b = r.hi;
-    } else {
-      a = world.evalPoint(fnId, k);
-      b = a + 1;
-    }
-    lookup.forOverlaps(a, b, [&](std::size_t owner) {
-      auto& rs = runs[owner];
-      if (!rs.empty() && rs.back().hi == k) {
-        ++rs.back().hi;  // extend the contiguous tail
-      } else if (rs.empty() || rs.back().hi < k + 1 || rs.back().lo > k) {
-        rs.push_back(Run{k, k + 1});
-      }
-    });
+
+  // Shard the target scan. Oversubscribing the pool keeps workers busy when
+  // owners cluster in one part of the target (e.g. the shared-node prefix of
+  // the Circuit layout).
+  std::size_t shards = 1;
+  if (pool != nullptr && targetSize > 0) {
+    shards = std::min<std::size_t>(pool->threadCount() * 4,
+                                   static_cast<std::size_t>(targetSize));
   }
-  std::vector<IndexSet> subs;
-  subs.reserve(src.count());
-  for (auto& rs : runs) subs.push_back(IndexSet::fromRuns(std::move(rs)));
+
+  // shardRuns[s][owner]: runs of target indices owned by `owner` found in
+  // shard s. Shards cover ascending disjoint intervals of the target, so
+  // concatenating a given owner's runs in shard order keeps them sorted.
+  std::vector<std::vector<std::vector<Run>>> shardRuns(
+      shards, std::vector<std::vector<Run>>(src.count()));
+
+  forSubtasks(pool, shards, [&](std::size_t s) {
+    const auto nShards = static_cast<Index>(shards);
+    const Index lo = targetSize * static_cast<Index>(s) / nShards;
+    const Index hi = targetSize * (static_cast<Index>(s) + 1) / nShards;
+    auto& runs = shardRuns[s];
+    constexpr Index kChunk = 4096;  // bounds scratch, amortizes batch setup
+    std::vector<Index> pvals;
+    std::vector<Run> rvals;
+    for (Index base = lo; base < hi; base += kChunk) {
+      const Run chunk{base, std::min(base + kChunk, hi)};
+      const auto n = static_cast<std::size_t>(chunk.size());
+      if (f.isRangeValued()) {
+        rvals.resize(n);
+        fn.ranges(chunk, rvals);
+      } else {
+        pvals.resize(n);
+        fn.points(chunk, pvals);
+      }
+      for (Index k = chunk.lo; k < chunk.hi; ++k) {
+        const auto i = static_cast<std::size_t>(k - chunk.lo);
+        Index a = 0;
+        Index b = 0;
+        if (f.isRangeValued()) {
+          a = rvals[i].lo;
+          b = rvals[i].hi;
+        } else {
+          a = pvals[i];
+          b = a + 1;
+        }
+        lookup.forOverlaps(a, b, [&](std::size_t owner) {
+          auto& rs = runs[owner];
+          if (!rs.empty() && rs.back().hi == k) {
+            ++rs.back().hi;  // extend the contiguous tail
+          } else if (rs.empty() || rs.back().hi <= k) {
+            rs.push_back(Run{k, k + 1});
+          }  // else: k already recorded (owner had several overlapping runs)
+        });
+      }
+    }
+  });
+
+  // Merge step: per owner, concatenate the shard-local runs and coalesce
+  // across shard boundaries.
+  std::vector<IndexSet> subs(src.count());
+  forSubtasks(pool, src.count(), [&](std::size_t j) {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < shards; ++s) total += shardRuns[s][j].size();
+    std::vector<Run> merged;
+    merged.reserve(total);
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (const Run& r : shardRuns[s][j]) {
+        if (!merged.empty() && merged.back().hi == r.lo) {
+          merged.back().hi = r.hi;
+        } else {
+          merged.push_back(r);
+        }
+      }
+    }
+    subs[j] = IndexSet::fromRuns(std::move(merged));
+  });
   return Partition(targetRegion, std::move(subs));
 }
 
@@ -138,39 +224,40 @@ namespace {
 
 template <typename Op>
 Partition zipPartitions(const Partition& a, const Partition& b, Op&& op,
-                        const char* what) {
+                        const char* what, ThreadPool* pool) {
   DPART_CHECK(a.regionName() == b.regionName(),
               std::string(what) + ": operands partition different regions (" +
                   a.regionName() + " vs " + b.regionName() + ")");
   DPART_CHECK(a.count() == b.count(),
               std::string(what) + ": operand subregion counts differ");
-  std::vector<IndexSet> subs;
-  subs.reserve(a.count());
-  for (std::size_t j = 0; j < a.count(); ++j) {
-    subs.push_back(op(a.sub(j), b.sub(j)));
-  }
+  std::vector<IndexSet> subs(a.count());
+  forSubtasks(pool, a.count(),
+              [&](std::size_t j) { subs[j] = op(a.sub(j), b.sub(j)); });
   return Partition(a.regionName(), std::move(subs));
 }
 
 }  // namespace
 
-Partition unionPartitions(const Partition& a, const Partition& b) {
+Partition unionPartitions(const Partition& a, const Partition& b,
+                          ThreadPool* pool) {
   return zipPartitions(
       a, b, [](const IndexSet& x, const IndexSet& y) { return x.unionWith(y); },
-      "union");
+      "union", pool);
 }
 
-Partition intersectPartitions(const Partition& a, const Partition& b) {
+Partition intersectPartitions(const Partition& a, const Partition& b,
+                              ThreadPool* pool) {
   return zipPartitions(
       a, b,
       [](const IndexSet& x, const IndexSet& y) { return x.intersectWith(y); },
-      "intersect");
+      "intersect", pool);
 }
 
-Partition subtractPartitions(const Partition& a, const Partition& b) {
+Partition subtractPartitions(const Partition& a, const Partition& b,
+                             ThreadPool* pool) {
   return zipPartitions(
       a, b, [](const IndexSet& x, const IndexSet& y) { return x.subtract(y); },
-      "subtract");
+      "subtract", pool);
 }
 
 }  // namespace dpart::region

@@ -5,6 +5,10 @@
 #include "region/partition.hpp"
 #include "region/world.hpp"
 
+namespace dpart {
+class ThreadPool;
+}
+
 namespace dpart::region {
 
 /// Concrete kernels for the DPL operators of the paper (Fig. 5).
@@ -22,6 +26,14 @@ namespace dpart::region {
 /// Point-valued fns dispatch to image/preimage; range-valued fns (FieldRange)
 /// dispatch to the generalized IMAGE/PREIMAGE — callers use the same entry
 /// points and the fn kind decides.
+///
+/// Every kernel takes an optional ThreadPool. With a pool, image and the
+/// set operators fan out per subregion, and preimage shards the target scan
+/// across the pool with a per-shard run accumulation + ordered merge; without
+/// one (the default) they run serially, which is the reference the
+/// differential tests compare against. Function evaluation is batched over
+/// whole Runs (World::BatchFn), so the hot loops carry no per-element
+/// std::function dispatch or fn-name lookups either way.
 
 /// equal(R, n): n contiguous chunks of [0, |R|), sizes differing by at most 1.
 Partition equalPartition(const World& world, const std::string& regionName,
@@ -30,16 +42,21 @@ Partition equalPartition(const World& world, const std::string& regionName,
 /// image(src, fn, target) / IMAGE(src, Fn, target).
 Partition imagePartition(const World& world, const Partition& src,
                          const std::string& fnId,
-                         const std::string& targetRegion);
+                         const std::string& targetRegion,
+                         ThreadPool* pool = nullptr);
 
 /// preimage(target, fn, src) / PREIMAGE(target, Fn, src).
 Partition preimagePartition(const World& world,
                             const std::string& targetRegion,
-                            const std::string& fnId, const Partition& src);
+                            const std::string& fnId, const Partition& src,
+                            ThreadPool* pool = nullptr);
 
 /// Subregion-wise set operations; operand subregion counts must match.
-Partition unionPartitions(const Partition& a, const Partition& b);
-Partition intersectPartitions(const Partition& a, const Partition& b);
-Partition subtractPartitions(const Partition& a, const Partition& b);
+Partition unionPartitions(const Partition& a, const Partition& b,
+                          ThreadPool* pool = nullptr);
+Partition intersectPartitions(const Partition& a, const Partition& b,
+                              ThreadPool* pool = nullptr);
+Partition subtractPartitions(const Partition& a, const Partition& b,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace dpart::region

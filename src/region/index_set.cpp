@@ -127,6 +127,10 @@ IndexSet IndexSet::unionWith(const IndexSet& other) const {
 
 IndexSet IndexSet::intersectWith(const IndexSet& other) const {
   IndexSet s;
+  // Each output run consumes at least one operand run, so |A|+|B| bounds the
+  // output; reserving avoids repeated reallocation in the operator kernels'
+  // tight subregion loops.
+  s.runs_.reserve(runs_.size() + other.runs_.size());
   auto a = runs_.begin();
   auto b = other.runs_.begin();
   while (a != runs_.end() && b != other.runs_.end()) {
@@ -145,6 +149,8 @@ IndexSet IndexSet::intersectWith(const IndexSet& other) const {
 
 IndexSet IndexSet::subtract(const IndexSet& other) const {
   IndexSet s;
+  // Every split adds at most one run per subtrahend run on top of |A|.
+  s.runs_.reserve(runs_.size() + other.runs_.size());
   auto b = other.runs_.begin();
   for (Run r : runs_) {
     while (b != other.runs_.end() && b->hi <= r.lo) ++b;

@@ -1,5 +1,7 @@
 #include "region/world.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace dpart::region {
@@ -115,6 +117,66 @@ Run World::evalRange(const std::string& fnId, Index i) const {
   DPART_CHECK(f.kind == FnKind::FieldRange,
               "evalRange on point-valued function '" + fnId + "'");
   return region(f.domainRegion).range(f.field)[static_cast<std::size_t>(i)];
+}
+
+void World::evalPointRun(const std::string& fnId, Run in,
+                         std::span<Index> out) const {
+  BatchFn(*this, fn(fnId)).points(in, out);
+}
+
+void World::evalRangeRun(const std::string& fnId, Run in,
+                         std::span<Run> out) const {
+  BatchFn(*this, fn(fnId)).ranges(in, out);
+}
+
+BatchFn::BatchFn(const World& world, const FnDef& fn) : fn_(&fn) {
+  switch (fn.kind) {
+    case FnKind::FieldPtr:
+      idxColumn_ = world.region(fn.domainRegion).idx(fn.field);
+      break;
+    case FnKind::FieldRange:
+      rangeColumn_ = world.region(fn.domainRegion).range(fn.field);
+      break;
+    case FnKind::Identity:
+    case FnKind::Affine:
+      break;
+  }
+}
+
+void BatchFn::points(Run in, std::span<Index> out) const {
+  DPART_CHECK(static_cast<Index>(out.size()) == in.size(),
+              "points() output span size mismatch");
+  switch (fn_->kind) {
+    case FnKind::Identity:
+      for (Index i = in.lo; i < in.hi; ++i) {
+        out[static_cast<std::size_t>(i - in.lo)] = i;
+      }
+      return;
+    case FnKind::FieldPtr: {
+      const auto lo = static_cast<std::size_t>(in.lo);
+      std::copy_n(idxColumn_.begin() + static_cast<std::ptrdiff_t>(lo),
+                  out.size(), out.begin());
+      return;
+    }
+    case FnKind::Affine:
+      for (Index i = in.lo; i < in.hi; ++i) {
+        out[static_cast<std::size_t>(i - in.lo)] = fn_->point(i);
+      }
+      return;
+    case FnKind::FieldRange:
+      break;
+  }
+  throw Error("points() on range-valued function '" + fn_->id + "'");
+}
+
+void BatchFn::ranges(Run in, std::span<Run> out) const {
+  DPART_CHECK(static_cast<Index>(out.size()) == in.size(),
+              "ranges() output span size mismatch");
+  DPART_CHECK(fn_->kind == FnKind::FieldRange,
+              "ranges() on point-valued function '" + fn_->id + "'");
+  const auto lo = static_cast<std::size_t>(in.lo);
+  std::copy_n(rangeColumn_.begin() + static_cast<std::ptrdiff_t>(lo),
+              out.size(), out.begin());
 }
 
 }  // namespace dpart::region

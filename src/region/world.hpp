@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,37 @@
 #include "region/region.hpp"
 
 namespace dpart::region {
+
+class World;
+
+/// Resolved, lookup-free batch evaluator for one function.
+///
+/// The name→FnDef and field→column resolutions happen once at construction,
+/// so evaluating a whole Run of inputs costs no map lookups and — for
+/// identity and field-backed fns — no per-element std::function dispatch.
+/// This is the hot path of the parallel operator kernels (dpl_ops.cpp):
+/// per-index evalPoint/evalRange calls pay a string-keyed map lookup per
+/// element, which dominates partition materialization time.
+class BatchFn {
+ public:
+  BatchFn(const World& world, const FnDef& fn);
+
+  [[nodiscard]] const FnDef& def() const { return *fn_; }
+  [[nodiscard]] bool isRangeValued() const { return fn_->isRangeValued(); }
+
+  /// out[i] = fn(in.lo + i). Requires out.size() == in.size() and a
+  /// point-valued fn.
+  void points(Run in, std::span<Index> out) const;
+
+  /// out[i] = fn(in.lo + i). Requires out.size() == in.size() and a
+  /// range-valued fn.
+  void ranges(Run in, std::span<Run> out) const;
+
+ private:
+  const FnDef* fn_;
+  std::span<const Index> idxColumn_;  // FieldPtr: the backing column
+  std::span<const Run> rangeColumn_;  // FieldRange: the backing column
+};
 
 /// Owns the regions and function definitions of one program instance.
 ///
@@ -56,6 +88,14 @@ class World {
 
   /// Evaluates a range-valued function at index i.
   [[nodiscard]] Run evalRange(const std::string& fnId, Index i) const;
+
+  /// Batch forms over a whole Run of inputs: out[i] = fn(in.lo + i).
+  /// One name lookup per call instead of one per element; see BatchFn for
+  /// the fully resolved form the operator kernels use.
+  void evalPointRun(const std::string& fnId, Run in,
+                    std::span<Index> out) const;
+  void evalRangeRun(const std::string& fnId, Run in,
+                    std::span<Run> out) const;
 
   /// Canonical id for a FieldPtr/FieldRange fn: "R[.].field".
   static std::string fieldFnId(const std::string& regionName,

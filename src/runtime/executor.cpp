@@ -20,8 +20,8 @@ PlanExecutor::PlanExecutor(region::World& world,
       plan_(plan),
       pieces_(pieces),
       options_(options),
-      evaluator_(world, pieces),
-      pool_(options.threads) {
+      pool_(options.threads),
+      evaluator_(world, pieces, pool_) {
   DPART_CHECK(pieces_ > 0, "need at least one piece");
 }
 

@@ -9,6 +9,7 @@
 #include "region/partition.hpp"
 #include "region/world.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/perf_counters.hpp"
 
 namespace dpart::runtime {
 
@@ -67,14 +68,22 @@ class PlanExecutor {
     return bufferedElements_;
   }
 
+  /// Partition-materialization counters (per-operator wall time, cache
+  /// hits/misses, elements touched, runs produced); see support/perf_counters.
+  [[nodiscard]] const PerfCounters& counters() const {
+    return evaluator_.counters();
+  }
+
  private:
   region::World& world_;
   const parallelize::ParallelPlan& plan_;
   std::size_t pieces_;
   ExecOptions options_;
+  // The evaluator borrows the task pool for its parallel operator kernels,
+  // so pool_ must outlive (be declared before) evaluator_.
+  ThreadPool pool_;
   dpl::Evaluator evaluator_;
   bool prepared_ = false;
-  ThreadPool pool_;
   std::size_t bufferedElements_ = 0;
 };
 

@@ -1,48 +1,12 @@
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+// The pool implementation was lifted to support/thread_pool.hpp so the DPL
+// evaluator (which sits below the runtime) can parallelize its operator
+// kernels. This header keeps the historical runtime::ThreadPool name alive.
+#include "support/thread_pool.hpp"
 
 namespace dpart::runtime {
 
-/// Minimal blocking-fork-join thread pool.
-///
-/// parallelFor(n, fn) runs fn(0..n-1) across the pool and blocks until all
-/// complete; the first exception thrown by any worker is rethrown in the
-/// caller. Work is distributed by an atomic cursor, so unbalanced tasks
-/// (e.g. the hot subregion in the Circuit "Auto" configuration) do not idle
-/// the rest of the pool.
-class ThreadPool {
- public:
-  explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
-
-  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
-
- private:
-  void workerMain();
-  bool runOne();  // returns false when there is no work
-
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t jobSize_ = 0;
-  std::size_t next_ = 0;
-  std::size_t inFlight_ = 0;
-  std::exception_ptr error_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
+using dpart::ThreadPool;
 
 }  // namespace dpart::runtime

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace dpart {
+
+/// Per-operator tallies for one class of DPL operator (see PerfCounters).
+struct OpCounter {
+  std::uint64_t invocations = 0;
+  double seconds = 0;            ///< wall time spent materializing
+  std::uint64_t elements = 0;    ///< elements touched (inputs scanned)
+  std::uint64_t runs = 0;        ///< runs produced across result subregions
+
+  void record(double sec, std::uint64_t elems, std::uint64_t runsProduced) {
+    ++invocations;
+    seconds += sec;
+    elements += elems;
+    runs += runsProduced;
+  }
+};
+
+/// Observability for the partition-materialization pipeline: where the
+/// evaluator spends its time, how much data each operator class touches, how
+/// fragmented the results are, and how often the expression memo cache short-
+/// circuits re-evaluation. Surfaced by dpl::Evaluator / runtime::PlanExecutor
+/// and printed by the benchmarks as one JSON line per run.
+struct PerfCounters {
+  enum Op : std::size_t {
+    kEqual = 0,
+    kImage,
+    kPreimage,
+    kUnion,
+    kIntersect,
+    kSubtract,
+    kNumOps,
+  };
+
+  static const char* opName(std::size_t op) {
+    static constexpr const char* kNames[kNumOps] = {
+        "equal", "image", "preimage", "union", "intersect", "subtract"};
+    return op < kNumOps ? kNames[op] : "?";
+  }
+
+  std::array<OpCounter, kNumOps> ops{};
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+
+  void reset() { *this = PerfCounters{}; }
+
+  void merge(const PerfCounters& other) {
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      ops[i].invocations += other.ops[i].invocations;
+      ops[i].seconds += other.ops[i].seconds;
+      ops[i].elements += other.ops[i].elements;
+      ops[i].runs += other.ops[i].runs;
+    }
+    cacheHits += other.cacheHits;
+    cacheMisses += other.cacheMisses;
+  }
+
+  [[nodiscard]] double totalSeconds() const {
+    double s = 0;
+    for (const OpCounter& c : ops) s += c.seconds;
+    return s;
+  }
+
+  /// One machine-readable JSON object (no trailing newline).
+  [[nodiscard]] std::string toJson() const {
+    std::ostringstream os;
+    os << "{\"cache_hits\":" << cacheHits
+       << ",\"cache_misses\":" << cacheMisses << ",\"ops\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const OpCounter& c = ops[i];
+      if (c.invocations == 0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << '"' << opName(i) << "\":{\"calls\":" << c.invocations
+         << ",\"ms\":" << c.seconds * 1e3 << ",\"elements\":" << c.elements
+         << ",\"runs\":" << c.runs << '}';
+    }
+    os << "}}";
+    return os.str();
+  }
+
+  /// Small human-readable table for debug output.
+  [[nodiscard]] std::string report() const {
+    std::ostringstream os;
+    os << "op          calls      ms        elements    runs\n";
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const OpCounter& c = ops[i];
+      if (c.invocations == 0) continue;
+      os << opName(i);
+      for (std::size_t pad = std::string(opName(i)).size(); pad < 12; ++pad)
+        os << ' ';
+      os << c.invocations << "   " << c.seconds * 1e3 << "   " << c.elements
+         << "   " << c.runs << '\n';
+    }
+    os << "cache: " << cacheHits << " hits / " << cacheMisses << " misses\n";
+    return os.str();
+  }
+};
+
+}  // namespace dpart

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpart {
+
+/// Minimal blocking-fork-join thread pool.
+///
+/// parallelFor(n, fn) runs fn(0..n-1) across the pool and blocks until all
+/// complete; the first exception thrown by any worker is rethrown in the
+/// caller. Work is distributed by a shared cursor, so unbalanced tasks
+/// (e.g. the hot subregion in the Circuit "Auto" configuration) do not idle
+/// the rest of the pool.
+///
+/// Lives in support (not runtime) so the DPL evaluator's parallel operator
+/// kernels — which sit below the runtime in the dependency order — can own
+/// or borrow a pool. `runtime::ThreadPool` remains as an alias.
+///
+/// parallelFor is not reentrant: a worker must not call parallelFor on the
+/// pool it runs in. The evaluation pipeline only issues sequential phases
+/// (scan, then merge), so this never nests.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { workerMain(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::unique_lock lock(mutex_);
+    job_ = &fn;
+    jobSize_ = n;
+    next_ = 0;
+    error_ = nullptr;
+    wake_.notify_all();
+    // The caller participates too, so parallelFor works even on a pool whose
+    // workers are busy elsewhere (not possible here, but cheap insurance).
+    while (next_ < jobSize_) {
+      const std::size_t idx = next_++;
+      ++inFlight_;
+      lock.unlock();
+      try {
+        fn(idx);
+      } catch (...) {
+        lock.lock();
+        if (!error_) error_ = std::current_exception();
+        --inFlight_;
+        continue;
+      }
+      lock.lock();
+      --inFlight_;
+    }
+    done_.wait(lock, [this] { return inFlight_ == 0 && next_ >= jobSize_; });
+    job_ = nullptr;
+    jobSize_ = 0;
+    if (error_) {
+      std::exception_ptr err = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+  [[nodiscard]] std::size_t threadCount() const { return workers_.size(); }
+
+ private:
+  void workerMain() {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      wake_.wait(lock, [this] { return stop_ || next_ < jobSize_; });
+      if (stop_) return;
+      while (next_ < jobSize_) {
+        const std::size_t idx = next_++;
+        ++inFlight_;
+        lock.unlock();
+        try {
+          (*job_)(idx);
+        } catch (...) {
+          lock.lock();
+          if (!error_) error_ = std::current_exception();
+          --inFlight_;
+          continue;
+        }
+        lock.lock();
+        --inFlight_;
+      }
+      done_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobSize_ = 0;
+  std::size_t next_ = 0;
+  std::size_t inFlight_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dpart
