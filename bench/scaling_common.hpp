@@ -27,18 +27,23 @@ struct VariantRun {
   const region::World* world = nullptr;
 };
 
+/// When `resilient` is true the series reports the failure-model step time
+/// (task snapshot + expected replay under cfg.nodeMtbfSeconds) instead of
+/// the fault-free time.
 inline apps::ScalingSeries runVariant(
     const std::string& name, const std::vector<int>& nodes,
     const sim::MachineConfig& cfg,
-    const std::function<VariantRun(int)>& makeSetup) {
+    const std::function<VariantRun(int)>& makeSetup,
+    bool resilient = false) {
   apps::ScalingSeries series;
   series.name = name;
   for (int n : nodes) {
     VariantRun run = makeSetup(n);
     sim::ClusterSim sim(*run.world, cfg);
     for (const auto& [r, o] : run.setup.owners) sim.setOwner(r, o);
-    const double sec =
-        sim.simulateStep(run.setup.plan, run.setup.partitions);
+    const sim::StepSimResult step =
+        sim.simulateStepResilient(run.setup.plan, run.setup.partitions);
+    const double sec = resilient ? step.resilientSeconds : step.seconds;
     series.points.push_back(apps::ScalingPoint{
         n, sec, run.workPerNode / sec});
   }

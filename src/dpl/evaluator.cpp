@@ -1,5 +1,7 @@
 #include "dpl/evaluator.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "support/check.hpp"
@@ -7,6 +9,7 @@
 
 namespace dpart::dpl {
 
+using region::IndexSet;
 using region::Partition;
 
 namespace {
@@ -15,6 +18,40 @@ std::uint64_t runsProduced(const Partition& p) {
   std::uint64_t total = 0;
   for (std::size_t j = 0; j < p.count(); ++j) total += p.sub(j).runCount();
   return total;
+}
+
+const char* opSite(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::Symbol: return "dpl:symbol";
+    case ExprKind::Union: return "dpl:union";
+    case ExprKind::Intersect: return "dpl:intersect";
+    case ExprKind::Subtract: return "dpl:subtract";
+    case ExprKind::Image: return "dpl:image";
+    case ExprKind::Preimage: return "dpl:preimage";
+    case ExprKind::Equal: return "dpl:equal";
+  }
+  return "dpl:?";
+}
+
+// Deterministically corrupts an operator result: drops the first element of
+// the first non-empty subregion (breaks completeness) or, when the draw says
+// so and a second subregion exists, duplicates it there (breaks
+// disjointness). Exactly what a half-written partition after a lost node
+// looks like — and what region::verifyPartitions must catch.
+Partition poisonPartition(const Partition& p, double magnitude) {
+  std::vector<IndexSet> subs(p.subregions().begin(), p.subregions().end());
+  for (std::size_t j = 0; j < subs.size(); ++j) {
+    if (subs[j].empty()) continue;
+    const IndexSet one = IndexSet::interval(subs[j].lowerBound(),
+                                            subs[j].lowerBound() + 1);
+    if (magnitude >= 0.5 && subs.size() > 1) {
+      subs[(j + 1) % subs.size()] = subs[(j + 1) % subs.size()].unionWith(one);
+    } else {
+      subs[j] = subs[j].subtract(one);
+    }
+    break;
+  }
+  return Partition(p.regionName(), std::move(subs));
 }
 
 }  // namespace
@@ -82,6 +119,31 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
     ++counters_.cacheMisses;
   }
 
+  bool poison = false;
+  double poisonMagnitude = 0;
+  if (injector_ != nullptr) {
+    if (auto fault = injector_->fire(opSite(expr->kind))) {
+      switch (fault->kind) {
+        case FaultKind::Crash: {
+          ErrorContext ctx;
+          ctx.site = opSite(expr->kind);
+          throw EvalFailure(
+              "injected fault: DPL operator failed evaluating " +
+                  expr->toString(),
+              std::move(ctx));
+        }
+        case FaultKind::Straggler:
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(fault->stragglerMicros));
+          break;
+        case FaultKind::Poison:
+          poison = true;
+          poisonMagnitude = fault->magnitude;
+          break;
+      }
+    }
+  }
+
   Partition result;
   switch (expr->kind) {
     case ExprKind::Symbol:
@@ -139,6 +201,8 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
     }
   }
 
+  if (poison) result = poisonPartition(result, poisonMagnitude);
+
   if (memoize_) cache_.emplace(std::move(key), result);
   return result;
 }
@@ -146,7 +210,17 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
 const std::map<std::string, Partition>& Evaluator::run(
     const Program& program) {
   for (const Stmt& s : program.stmts()) {
-    bind(s.lhs, eval(s.rhs));
+    try {
+      bind(s.lhs, eval(s.rhs));
+    } catch (const EvalFailure&) {
+      throw;  // already carries the failing operator's context
+    } catch (const Error& e) {
+      ErrorContext ctx;
+      ctx.partition = s.lhs;
+      throw EvalFailure("evaluating DPL statement '" + s.lhs + " = " +
+                            s.rhs->toString() + "': " + e.what(),
+                        std::move(ctx));
+    }
   }
   return env_;
 }

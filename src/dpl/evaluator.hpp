@@ -10,6 +10,7 @@
 #include "region/dpl_ops.hpp"
 #include "region/partition.hpp"
 #include "region/world.hpp"
+#include "support/fault.hpp"
 #include "support/perf_counters.hpp"
 #include "support/thread_pool.hpp"
 
@@ -86,6 +87,14 @@ class Evaluator {
   /// The pool kernels run on; nullptr when evaluating serially.
   [[nodiscard]] ThreadPool* pool() const { return pool_; }
 
+  /// Installs a fault injector consulted at the per-operator sites
+  /// "dpl:union", "dpl:intersect", "dpl:subtract", "dpl:image",
+  /// "dpl:preimage" and "dpl:equal". Crash faults throw EvalFailure; Poison
+  /// faults corrupt the operator's result (dropping or duplicating one
+  /// element), which the partition legality verifier is expected to catch.
+  /// nullptr (the default) disables injection.
+  void setFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   /// Evaluates expr, consulting/populating the memo cache at every
   /// non-symbol node.
@@ -104,6 +113,7 @@ class Evaluator {
   mutable PerfCounters counters_;
   std::unique_ptr<ThreadPool> ownedPool_;
   ThreadPool* pool_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace dpart::dpl

@@ -1,0 +1,166 @@
+#include "region/verify.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dpart::region {
+
+const char* toString(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::MissingPartition: return "MissingPartition";
+    case ViolationKind::WrongRegion: return "WrongRegion";
+    case ViolationKind::PieceCountMismatch: return "PieceCountMismatch";
+    case ViolationKind::OutOfBounds: return "OutOfBounds";
+    case ViolationKind::NotDisjoint: return "NotDisjoint";
+    case ViolationKind::NotComplete: return "NotComplete";
+    case ViolationKind::NotContained: return "NotContained";
+  }
+  return "?";
+}
+
+std::string Violation::toString() const {
+  return std::string(region::toString(kind)) + " '" + partition + "': " +
+         detail;
+}
+
+std::string VerifyReport::toString() const {
+  if (ok()) return "partition verification OK";
+  std::string out = "partition verification failed (" +
+                    std::to_string(violations.size()) + " violation(s)):";
+  for (const Violation& v : violations) {
+    out += "\n  - " + v.toString();
+  }
+  return out;
+}
+
+namespace {
+
+std::string provenance(const PartitionExpectation& e) {
+  return e.why.empty() ? std::string() : " (" + e.why + ")";
+}
+
+}  // namespace
+
+VerifyReport verifyPartitions(
+    const World& world, const std::map<std::string, Partition>& env,
+    const std::vector<PartitionExpectation>& expectations) {
+  VerifyReport report;
+  auto add = [&report](ViolationKind kind, const std::string& partition,
+                       std::string detail) {
+    report.violations.push_back(
+        Violation{kind, partition, std::move(detail)});
+  };
+
+  for (const PartitionExpectation& e : expectations) {
+    auto it = env.find(e.partition);
+    if (it == env.end()) {
+      add(ViolationKind::MissingPartition, e.partition,
+          "not present in the evaluated environment" + provenance(e));
+      continue;
+    }
+    const Partition& p = it->second;
+
+    const std::string& regionName =
+        e.region.empty() ? p.regionName() : e.region;
+    if (!e.region.empty() && p.regionName() != e.region) {
+      add(ViolationKind::WrongRegion, e.partition,
+          "partitions region '" + p.regionName() + "', expected '" +
+              e.region + "'" + provenance(e));
+      continue;  // remaining checks would compare against the wrong space
+    }
+    if (!world.hasRegion(regionName)) {
+      add(ViolationKind::WrongRegion, e.partition,
+          "parent region '" + regionName + "' does not exist" +
+              provenance(e));
+      continue;
+    }
+    const Index size = world.region(regionName).size();
+
+    if (e.pieces > 0 && p.count() != e.pieces) {
+      add(ViolationKind::PieceCountMismatch, e.partition,
+          "has " + std::to_string(p.count()) + " subregions, expected " +
+              std::to_string(e.pieces) + provenance(e));
+    }
+
+    const IndexSet space = IndexSet::interval(0, size);
+    const IndexSet all = p.unionAll();
+    const IndexSet outside = all.subtract(space);
+    if (!outside.empty()) {
+      add(ViolationKind::OutOfBounds, e.partition,
+          std::to_string(outside.size()) + " element(s) outside [0, " +
+              std::to_string(size) + "), first at index " +
+              std::to_string(outside.lowerBound()) + provenance(e));
+    }
+
+    if (e.disjoint) {
+      IndexSet claimed;
+      for (std::size_t j = 0; j < p.count(); ++j) {
+        const IndexSet overlap = p.sub(j).intersectWith(claimed);
+        if (!overlap.empty()) {
+          add(ViolationKind::NotDisjoint, e.partition,
+              "subregion " + std::to_string(j) + " shares " +
+                  std::to_string(overlap.size()) +
+                  " element(s) with lower subregions, first at index " +
+                  std::to_string(overlap.lowerBound()) + provenance(e));
+          break;
+        }
+        claimed = claimed.unionWith(p.sub(j));
+      }
+    }
+
+    if (e.complete) {
+      const IndexSet missing = space.subtract(all);
+      if (!missing.empty()) {
+        add(ViolationKind::NotComplete, e.partition,
+            "misses " + std::to_string(missing.size()) +
+                " element(s) of [0, " + std::to_string(size) +
+                "), first at index " +
+                std::to_string(missing.lowerBound()) + provenance(e));
+      }
+    }
+
+    if (!e.containedIn.empty()) {
+      auto cit = env.find(e.containedIn);
+      if (cit == env.end()) {
+        add(ViolationKind::MissingPartition, e.containedIn,
+            "containment target of '" + e.partition +
+                "' not present in the evaluated environment" + provenance(e));
+      } else {
+        const Partition& outer = cit->second;
+        const std::size_t n = std::min(p.count(), outer.count());
+        if (p.count() > outer.count()) {
+          add(ViolationKind::PieceCountMismatch, e.partition,
+              "has more subregions (" + std::to_string(p.count()) +
+                  ") than containment target '" + e.containedIn + "' (" +
+                  std::to_string(outer.count()) + ")" + provenance(e));
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          const IndexSet escaped = p.sub(j).subtract(outer.sub(j));
+          if (!escaped.empty()) {
+            add(ViolationKind::NotContained, e.partition,
+                "subregion " + std::to_string(j) + " has " +
+                    std::to_string(escaped.size()) +
+                    " element(s) outside '" + e.containedIn +
+                    "', first at index " +
+                    std::to_string(escaped.lowerBound()) + provenance(e));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+void verifyPartitionsOrThrow(
+    const World& world, const std::map<std::string, Partition>& env,
+    const std::vector<PartitionExpectation>& expectations) {
+  VerifyReport report = verifyPartitions(world, env, expectations);
+  if (report.ok()) return;
+  ErrorContext ctx;
+  ctx.partition = report.violations.front().partition;
+  throw PartitionViolation(report.toString(), std::move(ctx));
+}
+
+}  // namespace dpart::region

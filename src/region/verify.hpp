@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::region {
+
+/// One property a plan assumes about a materialized partition. The runtime
+/// derives these from a ParallelPlan (runtime::planExpectations); tests can
+/// also construct them directly. Bounds ([0, region size)) are always
+/// checked; the remaining checks are opt-in per expectation.
+struct PartitionExpectation {
+  std::string partition;  ///< symbol to look up in the environment
+  std::string region;     ///< expected parent region ("" = don't check)
+  std::size_t pieces = 0;  ///< expected subregion count (0 = don't check)
+  bool disjoint = false;
+  bool complete = false;
+  /// When set: sub(i) must be contained in containedIn's sub(i) for every
+  /// piece (private sub-partition containment, Theorem 5.1).
+  std::string containedIn;
+  /// Provenance shown in violation messages, e.g. "iteration partition of
+  /// loop 'flux'".
+  std::string why;
+};
+
+enum class ViolationKind {
+  MissingPartition,
+  WrongRegion,
+  PieceCountMismatch,
+  OutOfBounds,
+  NotDisjoint,
+  NotComplete,
+  NotContained,
+};
+
+const char* toString(ViolationKind k);
+
+struct Violation {
+  ViolationKind kind{};
+  std::string partition;
+  std::string detail;  ///< human-readable specifics (pieces, offending index)
+
+  [[nodiscard]] std::string toString() const;
+};
+
+struct VerifyReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Checks evaluated partitions against the properties the plan assumed.
+/// Reports every violation found (it does not stop at the first); never
+/// throws on violations — callers inspect the report.
+VerifyReport verifyPartitions(
+    const World& world, const std::map<std::string, Partition>& env,
+    const std::vector<PartitionExpectation>& expectations);
+
+/// Convenience wrapper: throws PartitionViolation listing every violation
+/// when the report is not ok.
+void verifyPartitionsOrThrow(
+    const World& world, const std::map<std::string, Partition>& env,
+    const std::vector<PartitionExpectation>& expectations);
+
+}  // namespace dpart::region

@@ -1,7 +1,10 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 #include <memory>
+#include <thread>
 #include <unordered_map>
 
 #include "support/check.hpp"
@@ -23,6 +26,7 @@ PlanExecutor::PlanExecutor(region::World& world,
       pool_(options.threads),
       evaluator_(world, pieces, pool_) {
   DPART_CHECK(pieces_ > 0, "need at least one piece");
+  evaluator_.setFaultInjector(options_.faultInjector);
 }
 
 void PlanExecutor::bindExternal(const std::string& name,
@@ -39,6 +43,13 @@ void PlanExecutor::preparePartitions() {
   }
   evaluator_.run(plan_.dpl);
   prepared_ = true;
+  if (options_.verifyPartitions) verifyPartitions();
+}
+
+void PlanExecutor::verifyPartitions() const {
+  DPART_CHECK(prepared_, "partitions not prepared");
+  region::verifyPartitionsOrThrow(world_, evaluator_.env(),
+                                  planExpectations(plan_, pieces_));
 }
 
 const std::map<std::string, Partition>& PlanExecutor::partitions() const {
@@ -85,8 +96,15 @@ class TaskHooks final : public ir::ExecHooks {
   void onAccess(const ir::Stmt& stmt, Index target) override {
     if (!validate_) return;
     auto it = loop_.accessPartition.find(stmt.id);
-    DPART_CHECK(it != loop_.accessPartition.end(),
-                "access with no assigned partition: " + stmt.toString());
+    if (it == loop_.accessPartition.end()) {
+      ErrorContext ctx;
+      ctx.loop = loop_.loop->name;
+      ctx.stmtId = stmt.id;
+      ctx.piece = static_cast<int>(piece_);
+      throw PartitionViolation(
+          "access with no assigned partition: " + stmt.toString(),
+          std::move(ctx));
+    }
     const IndexSet& sub = env_.at(it->second).sub(piece_);
     // Guarded reductions may compute targets outside the task's subregion;
     // the guard rejects them before any memory access, so only *applied*
@@ -96,10 +114,20 @@ class TaskHooks final : public ir::ExecHooks {
         (rit->second.strategy == ReduceStrategy::Guarded)) {
       return;
     }
-    DPART_CHECK(sub.contains(target),
-                "illegal access: " + stmt.toString() + " touches index " +
-                    std::to_string(target) + " outside subregion " +
-                    std::to_string(piece_) + " of " + it->second);
+    if (!sub.contains(target)) {
+      ErrorContext ctx;
+      ctx.loop = loop_.loop->name;
+      ctx.partition = it->second;
+      ctx.field = stmt.region + "." + stmt.field;
+      ctx.stmtId = stmt.id;
+      ctx.index = target;
+      ctx.piece = static_cast<int>(piece_);
+      throw PartitionViolation(
+          "illegal access: " + stmt.toString() + " touches index " +
+              std::to_string(target) + " outside subregion " +
+              std::to_string(piece_) + " of " + it->second,
+          std::move(ctx));
+    }
   }
 
   bool shouldWrite(const ir::Stmt&, Index target) override {
@@ -159,10 +187,246 @@ std::vector<IndexSet> disjointify(const Partition& p) {
   return owned;
 }
 
+/// One task's in-place write footprint: for every (region, field) the task
+/// may write in place, the exact index set and (once captured) the
+/// pre-execution values. Restoring the footprint undoes every partial
+/// effect of a failed attempt. The plan guarantees these sets are disjoint
+/// across tasks — stores target the (disjoint or ownership-guarded)
+/// iteration subregion, Direct reductions a provably disjoint partition,
+/// Guarded reductions their disjoint guard, PrivateSplit reductions the
+/// disjoint private sub-partition, and Buffered reductions touch nothing in
+/// place until the post-loop merge — so a restore never clobbers another
+/// task's completed work (DESIGN.md §7).
+class TaskFootprint {
+ public:
+  void add(std::span<double> column, const std::string& key, IndexSet set) {
+    if (set.empty()) return;
+    auto [it, inserted] = byField_.try_emplace(key, patches_.size());
+    if (inserted) {
+      patches_.push_back(Patch{column, std::move(set), {}});
+    } else {
+      Patch& p = patches_[it->second];
+      p.indices = p.indices.unionWith(set);
+    }
+  }
+
+  /// Saves the current field values over the footprint.
+  void capture() {
+    for (Patch& p : patches_) {
+      p.saved.clear();
+      p.saved.reserve(static_cast<std::size_t>(p.indices.size()));
+      p.indices.forEach([&p](Index i) {
+        p.saved.push_back(p.column[static_cast<std::size_t>(i)]);
+      });
+    }
+  }
+
+  /// Restores the captured values (capture() must have run).
+  void restore() const {
+    for (const Patch& p : patches_) {
+      std::size_t k = 0;
+      p.indices.forEach([&p, &k](Index i) {
+        p.column[static_cast<std::size_t>(i)] = p.saved[k++];
+      });
+    }
+  }
+
+  /// Overwrites the footprint with garbage — the worst state a dying task
+  /// can leave behind without breaking write isolation.
+  void poison() const {
+    for (const Patch& p : patches_) {
+      p.indices.forEach([&p](Index i) {
+        p.column[static_cast<std::size_t>(i)] =
+            std::numeric_limits<double>::quiet_NaN();
+      });
+    }
+  }
+
+ private:
+  struct Patch {
+    std::span<double> column;
+    IndexSet indices;
+    std::vector<double> saved;
+  };
+
+  std::map<std::string, std::size_t> byField_;
+  std::vector<Patch> patches_;
+};
+
+/// Collects task j's in-place write footprint from the plan's metadata.
+TaskFootprint buildFootprint(region::World& world,
+                             const parallelize::PlannedLoop& loop,
+                             std::size_t j,
+                             const std::map<std::string, Partition>& env,
+                             const IndexSet* ownership) {
+  TaskFootprint fp;
+  loop.loop->forEachStmt([&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::StoreF64 && s.kind != ir::StmtKind::ReduceF64)
+      return;
+    const IndexSet* set = nullptr;
+    IndexSet guarded;
+    auto rit = loop.reduces.find(s.id);
+    if (s.kind == ir::StmtKind::ReduceF64 && rit != loop.reduces.end()) {
+      switch (rit->second.strategy) {
+        case ReduceStrategy::Direct:
+          set = &env.at(loop.accessPartition.at(s.id)).sub(j);
+          break;
+        case ReduceStrategy::Guarded:
+          set = &env.at(rit->second.partition).sub(j);
+          break;
+        case ReduceStrategy::Buffered:
+          return;  // task-local buffer; nothing written in place
+        case ReduceStrategy::PrivateSplit:
+          set = &env.at(rit->second.privatePart).sub(j);
+          break;
+      }
+    } else {
+      // Centered store / centered reduction: the task writes its iteration
+      // subregion, narrowed to its ownership set under aliased iteration.
+      const IndexSet& acc = env.at(loop.accessPartition.at(s.id)).sub(j);
+      if (ownership != nullptr) {
+        guarded = acc.intersectWith(*ownership);
+        set = &guarded;
+      } else {
+        set = &acc;
+      }
+    }
+    fp.add(world.region(s.region).f64(s.field), s.region + "." + s.field,
+           *set);
+  });
+  return fp;
+}
+
+/// Deterministic prefix of an index set holding ~frac of its elements, in
+/// iteration order — the part of a task that "ran before the node died".
+IndexSet prefixOf(const IndexSet& iters, double frac) {
+  const Index want = static_cast<Index>(
+      static_cast<double>(iters.size()) * std::clamp(frac, 0.0, 1.0));
+  region::IndexSetBuilder builder;
+  Index taken = 0;
+  for (const region::Run& r : iters.runs()) {
+    if (taken >= want) break;
+    const Index take = std::min(r.size(), want - taken);
+    builder.addRun(r.lo, r.lo + take);
+    taken += take;
+  }
+  return builder.build();
+}
+
 }  // namespace
+
+std::vector<region::PartitionExpectation> planExpectations(
+    const parallelize::ParallelPlan& plan, std::size_t pieces) {
+  // Merged per symbol: unification reuses partitions across loops, and the
+  // strongest requirement from any use applies.
+  std::map<std::string, region::PartitionExpectation> merged;
+  auto note = [&](const std::string& symbol, const std::string& regionName,
+                  bool disjoint, bool complete, const std::string& containedIn,
+                  const std::string& why) {
+    auto [it, inserted] = merged.try_emplace(symbol);
+    region::PartitionExpectation& e = it->second;
+    if (inserted) {
+      e.partition = symbol;
+      e.pieces = pieces;
+    }
+    if (e.region.empty()) e.region = regionName;
+    e.disjoint = e.disjoint || disjoint;
+    e.complete = e.complete || complete;
+    if (e.containedIn.empty()) e.containedIn = containedIn;
+    if (e.why.empty()) e.why = why;
+  };
+
+  for (const parallelize::PlannedLoop& pl : plan.loops) {
+    const std::string& ln = pl.loop->name;
+    note(pl.iterPartition, pl.loop->iterRegion, /*disjoint=*/!pl.relaxed,
+         /*complete=*/true, "", "iteration partition of loop '" + ln + "'");
+    pl.loop->forEachStmt([&](const ir::Stmt& s) {
+      switch (s.kind) {
+        case ir::StmtKind::LoadF64:
+        case ir::StmtKind::LoadIdx:
+        case ir::StmtKind::LoadRange:
+        case ir::StmtKind::StoreF64:
+        case ir::StmtKind::ReduceF64: {
+          auto it = pl.accessPartition.find(s.id);
+          if (it == pl.accessPartition.end()) break;
+          bool disjoint = false;
+          auto rit = pl.reduces.find(s.id);
+          if (s.kind == ir::StmtKind::ReduceF64 && rit != pl.reduces.end() &&
+              rit->second.strategy == ReduceStrategy::Direct) {
+            // The optimizer picks Direct only for provably disjoint targets.
+            disjoint = true;
+          }
+          note(it->second, s.region, disjoint, /*complete=*/false, "",
+               "access partition of stmt " + std::to_string(s.id) +
+                   " in loop '" + ln + "'");
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    for (const auto& [stmtId, rp] : pl.reduces) {
+      // Resolve the reduced region for partitions not used as a direct
+      // access partition (guard / private / shared symbols).
+      std::string reducedRegion;
+      pl.loop->forEachStmt([&](const ir::Stmt& s) {
+        if (s.id == stmtId) reducedRegion = s.region;
+      });
+      switch (rp.strategy) {
+        case ReduceStrategy::Direct:
+          break;  // covered via the access partition above
+        case ReduceStrategy::Guarded:
+          // Guards must cover every target exactly once.
+          note(rp.partition, reducedRegion, /*disjoint=*/true,
+               /*complete=*/true, "",
+               "guard partition of reduce stmt " + std::to_string(stmtId) +
+                   " in loop '" + ln + "'");
+          break;
+        case ReduceStrategy::Buffered:
+          note(rp.partition, reducedRegion, false, false, "",
+               "buffered reduction partition of stmt " +
+                   std::to_string(stmtId) + " in loop '" + ln + "'");
+          break;
+        case ReduceStrategy::PrivateSplit:
+          note(rp.privatePart, reducedRegion, /*disjoint=*/true, false,
+               rp.partition,
+               "private sub-partition of reduce stmt " +
+                   std::to_string(stmtId) + " in loop '" + ln + "'");
+          note(rp.sharedPart, reducedRegion, false, false, rp.partition,
+               "shared remainder of reduce stmt " + std::to_string(stmtId) +
+                   " in loop '" + ln + "'");
+          break;
+      }
+    }
+  }
+
+  std::vector<region::PartitionExpectation> out;
+  out.reserve(merged.size());
+  for (auto& [_, e] : merged) out.push_back(std::move(e));
+  return out;
+}
 
 void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   preparePartitions();
+
+  if (options_.faultInjector != nullptr) {
+    const std::string site = "loop:" + loop.loop->name;
+    if (auto fault = options_.faultInjector->fire(site)) {
+      if (fault->kind == FaultKind::Straggler) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(fault->stragglerMicros));
+      } else {
+        // Loop-level faults fire before any task mutates state, so there is
+        // nothing to roll back — the launch simply failed.
+        ErrorContext ctx;
+        ctx.site = site;
+        ctx.loop = loop.loop->name;
+        throw TaskFailure("injected fault: loop launch failed",
+                          std::move(ctx));
+      }
+    }
+  }
+
   const Partition& iter = partition(loop.iterPartition);
   DPART_CHECK(iter.count() == pieces_,
               "iteration partition piece count mismatch");
@@ -183,12 +447,79 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   ir::LoopRunner runner(world_, *loop.loop);
   std::vector<std::unique_ptr<TaskHooks>> hooks(pieces_);
   const auto& env = partitions();
+  std::atomic<std::size_t> loopReplays{0};
+
   pool_.parallelFor(pieces_, [&](std::size_t j) {
-    hooks[j] = std::make_unique<TaskHooks>(
-        loop, j, env, options_.validateAccesses,
-        needOwnership ? &ownership[j] : nullptr);
-    runner.run(iter.sub(j), hooks[j].get());
+    const IndexSet* own = needOwnership ? &ownership[j] : nullptr;
+    const IndexSet& iters = iter.sub(j);
+    const std::string site =
+        "task:" + loop.loop->name + ":" + std::to_string(j);
+    FaultInjector* injector = options_.faultInjector;
+
+    // The footprint sets are needed to snapshot (resilient mode) and as the
+    // target of Poison faults; skip building them entirely otherwise.
+    TaskFootprint footprint;
+    if (options_.resilient || injector != nullptr) {
+      footprint = buildFootprint(world_, loop, j, env, own);
+    }
+    if (options_.resilient) footprint.capture();
+
+    for (int attempt = 0;; ++attempt) {
+      hooks[j] = std::make_unique<TaskHooks>(loop, j, env,
+                                             options_.validateAccesses, own);
+      try {
+        if (injector != nullptr) {
+          if (auto fault = injector->fire(site)) {
+            ErrorContext ctx;
+            ctx.site = site;
+            ctx.loop = loop.loop->name;
+            ctx.piece = static_cast<int>(j);
+            ctx.attempt = attempt;
+            switch (fault->kind) {
+              case FaultKind::Straggler:
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(fault->stragglerMicros));
+                break;
+              case FaultKind::Poison:
+                // A dying node scribbles over its own write footprint —
+                // replay must restore every corrupted cell.
+                footprint.poison();
+                throw TaskFailure("injected fault: task result poisoned",
+                                  std::move(ctx));
+              case FaultKind::Crash:
+                // Execute a deterministic prefix, then die mid-task,
+                // leaving region state genuinely half-mutated.
+                runner.run(prefixOf(iters, fault->magnitude), hooks[j].get());
+                throw TaskFailure("injected fault: task crashed mid-run",
+                                  std::move(ctx));
+            }
+          }
+        }
+        runner.run(iters, hooks[j].get());
+        break;
+      } catch (const TaskFailure& failure) {
+        // Only task deaths are replayable; partition violations and
+        // evaluation failures propagate immediately.
+        if (!options_.resilient) throw;
+        footprint.restore();
+        if (attempt >= options_.maxTaskRetries) {
+          ErrorContext ctx = failure.context();
+          ctx.attempt = attempt;
+          throw TaskFailure(
+              std::string("task failed after ") +
+                  std::to_string(attempt + 1) + " attempt(s): " +
+                  failure.what(),
+              std::move(ctx));
+        }
+        loopReplays.fetch_add(1, std::memory_order_relaxed);
+        if (options_.retryBackoffMicros > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              options_.retryBackoffMicros << attempt));
+        }
+      }
+    }
   });
+  replays_.fetch_add(loopReplays.load(), std::memory_order_relaxed);
 
   // Merge reduction buffers in task order (deterministic).
   for (std::size_t j = 0; j < pieces_; ++j) {
@@ -210,6 +541,12 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
       }
       bufferedElements_ += entries.size();
     }
+  }
+
+  // Replays restored state from snapshots; re-check the legality properties
+  // the recovery relied on.
+  if (options_.verifyPartitions && loopReplays.load() > 0) {
+    verifyPartitions();
   }
 }
 

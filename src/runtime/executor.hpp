@@ -1,14 +1,19 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "dpl/evaluator.hpp"
 #include "ir/interp.hpp"
 #include "parallelize/parallelize.hpp"
 #include "region/partition.hpp"
+#include "region/verify.hpp"
 #include "region/world.hpp"
 #include "runtime/thread_pool.hpp"
+#include "support/fault.hpp"
 #include "support/perf_counters.hpp"
 
 namespace dpart::runtime {
@@ -18,8 +23,35 @@ struct ExecOptions {
   std::size_t threads = 0;
   /// Check every region access against the subregion its statement was
   /// assigned — the dynamic partition-legality check used by the tests.
+  /// Violations throw PartitionViolation with loop/field/stmt/index context.
   bool validateAccesses = false;
+  /// Fault injector consulted at the "loop:<name>", "task:<loop>:<piece>"
+  /// and "dpl:<op>" sites; nullptr disables injection.
+  FaultInjector* faultInjector = nullptr;
+  /// Enables task-level replay: each task's in-place write footprint (its
+  /// subregion plus in-place reduction targets; see DESIGN.md §7) is
+  /// snapshotted before the first attempt and restored before every retry,
+  /// so replay is idempotent under all four reduction strategies.
+  bool resilient = false;
+  /// Maximum replays per task per loop launch before the TaskFailure
+  /// propagates (resilient mode only).
+  int maxTaskRetries = 3;
+  /// Base of the exponential backoff between replays, microseconds
+  /// (attempt k sleeps base << k); 0 disables the backoff.
+  std::uint64_t retryBackoffMicros = 0;
+  /// Run the partition legality verifier (region/verify) after
+  /// preparePartitions() and after any loop launch that replayed a task.
+  bool verifyPartitions = false;
 };
+
+/// Derives the legality properties a plan assumes of its evaluated
+/// partitions: iteration partitions complete (and disjoint unless relaxed),
+/// Direct reduction targets disjoint, Guarded reduction partitions disjoint
+/// and complete, private sub-partitions disjoint and contained in their
+/// reduction partition, and every accessed partition in bounds with one
+/// subregion per piece.
+[[nodiscard]] std::vector<region::PartitionExpectation> planExpectations(
+    const parallelize::ParallelPlan& plan, std::size_t pieces);
 
 /// Executes a ParallelPlan: evaluates its DPL program to concrete
 /// partitions, then runs each planned loop as `pieces` tasks on a thread
@@ -55,6 +87,14 @@ class PlanExecutor {
   /// Runs one planned loop (partitions must be prepared).
   void runLoop(const parallelize::PlannedLoop& loop);
 
+  /// Checks every evaluated partition against the properties the plan
+  /// assumed (see planExpectations); throws PartitionViolation listing all
+  /// violations. Called automatically when options.verifyPartitions is on.
+  void verifyPartitions() const;
+
+  /// Task replays performed so far (resilient mode).
+  [[nodiscard]] std::size_t taskReplays() const { return replays_.load(); }
+
   [[nodiscard]] const std::map<std::string, region::Partition>& partitions()
       const;
   [[nodiscard]] const region::Partition& partition(
@@ -85,6 +125,7 @@ class PlanExecutor {
   dpl::Evaluator evaluator_;
   bool prepared_ = false;
   std::size_t bufferedElements_ = 0;
+  std::atomic<std::size_t> replays_{0};
 };
 
 }  // namespace dpart::runtime

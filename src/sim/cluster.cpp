@@ -118,6 +118,40 @@ LoopSimResult ClusterSim::simulateLoop(
     }
   });
 
+  // Per-task in-place write footprint — the elements the resilient executor
+  // snapshots before a task and restores before a replay: stores and
+  // Direct/Guarded/PrivateSplit reduction targets. Buffered reductions
+  // write nothing in place. (Sum over write statements; overlapping
+  // footprints of distinct statements are charged once each, an upper
+  // bound.)
+  std::vector<std::int64_t> footprint(pieces, 0);
+  loop.loop->forEachStmt([&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::StoreF64 && s.kind != ir::StmtKind::ReduceF64)
+      return;
+    const Partition* p = nullptr;
+    auto rit = loop.reduces.find(s.id);
+    if (s.kind == ir::StmtKind::ReduceF64 && rit != loop.reduces.end()) {
+      switch (rit->second.strategy) {
+        case ReduceStrategy::Direct:
+          p = &partitions.at(loop.accessPartition.at(s.id));
+          break;
+        case ReduceStrategy::Guarded:
+          p = &partitions.at(rit->second.partition);
+          break;
+        case ReduceStrategy::Buffered:
+          return;
+        case ReduceStrategy::PrivateSplit:
+          p = &partitions.at(rit->second.privatePart);
+          break;
+      }
+    } else {
+      p = &partitions.at(loop.accessPartition.at(s.id));
+    }
+    for (std::size_t j = 0; j < pieces && j < p->count(); ++j) {
+      footprint[j] += p->sub(j).size();
+    }
+  });
+
   // Pass 1: per-task ghost sets (receive side), compute work, buffers.
   std::vector<TaskCost> costs(pieces);
   std::vector<std::vector<std::pair<const Partition*, IndexSet>>> ghosts(
@@ -183,6 +217,7 @@ LoopSimResult ClusterSim::simulateLoop(
   }
 
   double worstTask = 0;
+  double worstResilientTask = 0;
   for (std::size_t j = 0; j < pieces; ++j) {
     TaskCost& cost = costs[j];
     const double recvBytes =
@@ -202,21 +237,52 @@ LoopSimResult ClusterSim::simulateLoop(
       worstTask = taskTime;
       result.worst = cost;
     }
+
+    // Failure model: the task snapshots its write footprint up front; an
+    // expected nodeTime/MTBF failures per launch each cost a detection +
+    // re-launch latency, a footprint restore, and (on average) half the
+    // task's work redone.
+    double resilientTaskTime = taskTime;
+    if (config_.nodeMtbfSeconds > 0) {
+      const double footprintBytes =
+          static_cast<double>(footprint[j]) * config_.bytesPerElem;
+      const double snapshotSeconds = footprintBytes / config_.bandwidth;
+      const double failures =
+          (taskTime + snapshotSeconds) / config_.nodeMtbfSeconds;
+      const double recoverySeconds = config_.replayLatency +
+                                     footprintBytes / config_.bandwidth +
+                                     0.5 * taskTime;
+      resilientTaskTime = taskTime + snapshotSeconds +
+                          failures * recoverySeconds;
+      result.expectedFailures += failures;
+      result.totalFootprintElems += footprint[j];
+    }
+    worstResilientTask = std::max(worstResilientTask, resilientTaskTime);
   }
 
   result.launchSeconds = static_cast<double>(pieces) * (1 + maxDepth) *
                          config_.launchCostPerPieceDepth;
   result.seconds = worstTask + result.launchSeconds;
+  result.resilientSeconds = worstResilientTask + result.launchSeconds;
   return result;
 }
 
 double ClusterSim::simulateStep(
     const parallelize::ParallelPlan& plan,
     const std::map<std::string, Partition>& partitions) const {
+  return simulateStepResilient(plan, partitions).seconds;
+}
+
+StepSimResult ClusterSim::simulateStepResilient(
+    const parallelize::ParallelPlan& plan,
+    const std::map<std::string, Partition>& partitions) const {
   const std::map<std::string, int> depths = depthsOf(plan.dpl);
-  double total = 0;
+  StepSimResult total;
   for (const parallelize::PlannedLoop& loop : plan.loops) {
-    total += simulateLoop(loop, partitions, depths).seconds;
+    const LoopSimResult r = simulateLoop(loop, partitions, depths);
+    total.seconds += r.seconds;
+    total.resilientSeconds += r.resilientSeconds;
+    total.expectedFailures += r.expectedFailures;
   }
   return total;
 }

@@ -33,6 +33,11 @@ struct MachineConfig {
   /// every loop launch: deeply derived partition trees are more expensive
   /// for the runtime to analyze (Section 6.5's Hint1 plateau).
   double launchCostPerPieceDepth = 4e-9;
+  /// Mean time between failures of one node, seconds; 0 disables the
+  /// failure model (resilientSeconds == seconds, no failures expected).
+  double nodeMtbfSeconds = 0;
+  /// Fixed detection + re-launch latency per task replay, seconds.
+  double replayLatency = 100e-6;
 };
 
 /// Per-task cost breakdown of one simulated loop launch.
@@ -51,6 +56,20 @@ struct LoopSimResult {
   TaskCost worst;            ///< the critical task
   std::int64_t totalGhostElems = 0;
   std::int64_t totalBufferedElems = 0;
+  /// Failure model (nodeMtbfSeconds > 0): expected task failures during one
+  /// launch, total write-footprint elements snapshotted, and the launch
+  /// time including snapshot capture plus expected replay (footprint
+  /// restore + half the lost work + replay latency) on the critical path.
+  double expectedFailures = 0;
+  std::int64_t totalFootprintElems = 0;
+  double resilientSeconds = 0;
+};
+
+/// One simulated time step, plain and resilient.
+struct StepSimResult {
+  double seconds = 0;
+  double resilientSeconds = 0;
+  double expectedFailures = 0;
 };
 
 /// Distributed-memory cost model driven by concrete partitions.
@@ -79,6 +98,13 @@ class ClusterSim {
 
   /// Simulates one execution of every loop in the plan (one "time step").
   [[nodiscard]] double simulateStep(
+      const parallelize::ParallelPlan& plan,
+      const std::map<std::string, region::Partition>& partitions) const;
+
+  /// Like simulateStep, but also reports the failure-model variant: the
+  /// step time under task snapshot/replay resilience and the expected
+  /// number of task failures per step (see MachineConfig::nodeMtbfSeconds).
+  [[nodiscard]] StepSimResult simulateStepResilient(
       const parallelize::ParallelPlan& plan,
       const std::map<std::string, region::Partition>& partitions) const;
 

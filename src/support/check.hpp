@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace dpart {
 
@@ -13,6 +15,79 @@ namespace dpart {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Structured locus carried by the error taxonomy below. Every field is
+/// optional; describe() renders only the fields that are set, so messages
+/// stay short while still localizing a failure to a fault site, loop,
+/// partition symbol, field, statement and element index.
+struct ErrorContext {
+  std::string site;       ///< fault/check site, e.g. "task:flux:3"
+  std::string loop;       ///< planned loop name
+  std::string partition;  ///< partition symbol
+  std::string field;      ///< accessed field as "region.field"
+  int stmtId = -1;        ///< statement id within the loop
+  std::int64_t index = -1;  ///< offending element index
+  int piece = -1;         ///< task / subregion number
+  int attempt = -1;       ///< replay attempt (0 = first execution)
+
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    auto add = [&out](const char* key, const std::string& value) {
+      out += out.empty() ? " [" : ", ";
+      out += key;
+      out += '=';
+      out += value;
+    };
+    if (!site.empty()) add("site", site);
+    if (!loop.empty()) add("loop", loop);
+    if (!partition.empty()) add("partition", partition);
+    if (!field.empty()) add("field", field);
+    if (stmtId >= 0) add("stmt", std::to_string(stmtId));
+    if (index >= 0) add("index", std::to_string(index));
+    if (piece >= 0) add("piece", std::to_string(piece));
+    if (attempt >= 0) add("attempt", std::to_string(attempt));
+    if (!out.empty()) out += ']';
+    return out;
+  }
+};
+
+/// A task died (or was killed by fault injection) during loop execution.
+/// The resilient executor retries these; everything else propagates.
+class TaskFailure : public Error {
+ public:
+  explicit TaskFailure(const std::string& what, ErrorContext context = {})
+      : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
+};
+
+/// A materialized partition broke a property the plan assumed (disjointness,
+/// completeness, containment, bounds) or a task touched an index outside its
+/// assigned subregion.
+class PartitionViolation : public Error {
+ public:
+  explicit PartitionViolation(const std::string& what,
+                              ErrorContext context = {})
+      : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
+};
+
+/// DPL evaluation failed (unbound symbol, operator kernel error, injected
+/// operator fault); carries which statement / site was being evaluated.
+class EvalFailure : public Error {
+ public:
+  explicit EvalFailure(const std::string& what, ErrorContext context = {})
+      : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
 };
 
 namespace detail {

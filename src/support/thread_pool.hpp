@@ -15,7 +15,10 @@ namespace dpart {
 ///
 /// parallelFor(n, fn) runs fn(0..n-1) across the pool and blocks until all
 /// complete; the first exception thrown by any worker is rethrown in the
-/// caller. Work is distributed by a shared cursor, so unbalanced tasks
+/// caller. Exceptions fail fast: once any index throws, no further indices
+/// are claimed (already-running ones finish), so a poisoned 10k-task job
+/// aborts promptly instead of running every remaining task before
+/// rethrowing. Work is distributed by a shared cursor, so unbalanced tasks
 /// (e.g. the hot subregion in the Circuit "Auto" configuration) do not idle
 /// the rest of the pool.
 ///
@@ -68,6 +71,7 @@ class ThreadPool {
       } catch (...) {
         lock.lock();
         if (!error_) error_ = std::current_exception();
+        next_ = jobSize_;  // fail fast: stop claiming remaining indices
         --inFlight_;
         continue;
       }
@@ -102,6 +106,7 @@ class ThreadPool {
         } catch (...) {
           lock.lock();
           if (!error_) error_ = std::current_exception();
+          next_ = jobSize_;  // fail fast: stop claiming remaining indices
           --inFlight_;
           continue;
         }

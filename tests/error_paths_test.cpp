@@ -1,0 +1,83 @@
+// Error-path coverage: malformed DPL through the parser, unbound external
+// partitions at preparePartitions(), and World lookups of missing names —
+// asserting the *content* of the thrown messages, not just the throw.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dpl/parser.hpp"
+#include "ir/ir.hpp"
+#include "region/world.hpp"
+#include "runtime/executor.hpp"
+#include "support/check.hpp"
+
+namespace dpart {
+namespace {
+
+using region::FieldType;
+using region::World;
+
+// Runs fn, which must throw dpart::Error (or a subclass), and returns the
+// message for content assertions.
+template <typename Fn>
+std::string messageOf(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected dpart::Error";
+  return "";
+}
+
+TEST(ErrorPaths, ParserReportsOffsetOfMalformedDpl) {
+  const std::string truncated =
+      messageOf([] { (void)dpl::parseExpr("image(P1, h"); });
+  EXPECT_NE(truncated.find("DPL parse error at offset"), std::string::npos);
+
+  const std::string danglingOp =
+      messageOf([] { (void)dpl::parseExpr("(A u )"); });
+  EXPECT_NE(danglingOp.find("DPL parse error"), std::string::npos);
+
+  const std::string program = messageOf([] {
+    (void)dpl::parseProgram("P = equal(R)\nQ = image(P, f,");
+  });
+  EXPECT_NE(program.find("DPL parse error"), std::string::npos);
+}
+
+TEST(ErrorPaths, ParserRejectsUnexpectedCharacters) {
+  const std::string msg = messageOf([] { (void)dpl::parseExpr("A $ B"); });
+  EXPECT_NE(msg.find("unexpected character '$'"), std::string::npos);
+}
+
+TEST(ErrorPaths, UnboundExternalPartitionNamedAtPrepare) {
+  World w;
+  w.addRegion("R", 8).addField("val", FieldType::F64);
+  parallelize::ParallelPlan plan;
+  plan.program = std::make_shared<const ir::Program>();
+  plan.externalSymbols = {"PExt"};
+  runtime::PlanExecutor exec(w, plan, 2);
+  const std::string msg = messageOf([&] { exec.preparePartitions(); });
+  EXPECT_NE(msg.find("external partition 'PExt' was not bound"),
+            std::string::npos);
+}
+
+TEST(ErrorPaths, WorldLookupsNameTheMissingEntity) {
+  World w;
+  w.addRegion("R", 8).addField("val", FieldType::F64);
+
+  const std::string region = messageOf([&] { (void)w.region("nope"); });
+  EXPECT_NE(region.find("unknown region 'nope'"), std::string::npos);
+
+  const std::string field =
+      messageOf([&] { (void)w.region("R").f64("ghost"); });
+  EXPECT_NE(field.find("no field 'ghost' on region R"), std::string::npos);
+
+  const std::string fn = messageOf([&] { (void)w.fn("missing"); });
+  EXPECT_NE(fn.find("unknown function 'missing'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpart

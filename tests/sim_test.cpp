@@ -76,5 +76,57 @@ TEST(ClusterSim, StepTimeIsSumOfLoops) {
   EXPECT_DOUBLE_EQ(sim.simulateStep(setup.plan, setup.partitions), sum);
 }
 
+TEST(ClusterSimResilience, ZeroMtbfDisablesTheFailureModel) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+  ClusterSim sim(app.world(), MachineConfig{});  // nodeMtbfSeconds = 0
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  StepSimResult step =
+      sim.simulateStepResilient(setup.plan, setup.partitions);
+  EXPECT_DOUBLE_EQ(step.resilientSeconds, step.seconds);
+  EXPECT_EQ(step.expectedFailures, 0.0);
+  EXPECT_DOUBLE_EQ(sim.simulateStep(setup.plan, setup.partitions),
+                   step.seconds);
+}
+
+TEST(ClusterSimResilience, MtbfChargesSnapshotAndReplayOverhead) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+
+  MachineConfig faulty;
+  faulty.nodeMtbfSeconds = 1.0;  // absurdly failure-heavy, for visibility
+  ClusterSim sim(app.world(), faulty);
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  StepSimResult step =
+      sim.simulateStepResilient(setup.plan, setup.partitions);
+  EXPECT_GT(step.resilientSeconds, step.seconds);
+  EXPECT_GT(step.expectedFailures, 0.0);
+
+  // Per-loop: the snapshotted write footprint (SpMV stores y centered) is
+  // what the recovery term is priced from.
+  auto depths = ClusterSim::depthsOf(setup.plan.dpl);
+  LoopSimResult r =
+      sim.simulateLoop(setup.plan.loops[0], setup.partitions, depths);
+  EXPECT_GT(r.totalFootprintElems, 0);
+  EXPECT_GT(r.resilientSeconds, r.seconds);
+
+  // Shrinking the MTBF strictly raises the expected-replay overhead.
+  MachineConfig worse = faulty;
+  worse.nodeMtbfSeconds = 0.1;
+  ClusterSim simWorse(app.world(), worse);
+  for (const auto& [r2, o] : setup.owners) simWorse.setOwner(r2, o);
+  StepSimResult stepWorse =
+      simWorse.simulateStepResilient(setup.plan, setup.partitions);
+  EXPECT_GT(stepWorse.resilientSeconds, step.resilientSeconds);
+  EXPECT_GT(stepWorse.expectedFailures, step.expectedFailures);
+  EXPECT_DOUBLE_EQ(stepWorse.seconds, step.seconds);  // fault-free unchanged
+}
+
 }  // namespace
 }  // namespace dpart::sim

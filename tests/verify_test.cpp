@@ -1,0 +1,158 @@
+// Unit tests for the partition legality verifier (region/verify): every
+// violation kind, the offending-index diagnostics, and the throwing wrapper
+// used by the resilient executor.
+
+#include <gtest/gtest.h>
+
+#include "region/verify.hpp"
+#include "support/check.hpp"
+
+namespace dpart::region {
+namespace {
+
+class VerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world.addRegion("R", 10);
+    world.addRegion("Q", 6);
+  }
+
+  PartitionExpectation expect(const std::string& name, bool disjoint,
+                              bool complete) {
+    PartitionExpectation e;
+    e.partition = name;
+    e.region = "R";
+    e.disjoint = disjoint;
+    e.complete = complete;
+    return e;
+  }
+
+  World world;
+  std::map<std::string, Partition> env;
+};
+
+TEST_F(VerifyTest, LegalPartitionProducesOkReport) {
+  env["P"] = Partition(
+      "R", {IndexSet::interval(0, 5), IndexSet::interval(5, 10)});
+  PartitionExpectation e = expect("P", true, true);
+  e.pieces = 2;
+  e.why = "iteration partition of loop 'flux'";
+  VerifyReport report = verifyPartitions(world, env, {e});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.toString(), "partition verification OK");
+  EXPECT_NO_THROW(verifyPartitionsOrThrow(world, env, {e}));
+}
+
+TEST_F(VerifyTest, OverlapReportsFirstSharedIndex) {
+  env["P"] = Partition(
+      "R", {IndexSet::interval(0, 5), IndexSet::interval(4, 10)});
+  VerifyReport report =
+      verifyPartitions(world, env, {expect("P", true, false)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::NotDisjoint);
+  EXPECT_EQ(report.violations[0].partition, "P");
+  EXPECT_NE(report.violations[0].detail.find("first at index 4"),
+            std::string::npos);
+}
+
+TEST_F(VerifyTest, GapReportsFirstMissingIndex) {
+  env["P"] = Partition(
+      "R", {IndexSet::interval(0, 3), IndexSet::interval(5, 10)});
+  VerifyReport report =
+      verifyPartitions(world, env, {expect("P", true, true)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::NotComplete);
+  EXPECT_NE(report.violations[0].detail.find("first at index 3"),
+            std::string::npos);
+}
+
+TEST_F(VerifyTest, OutOfBoundsAlwaysChecked) {
+  env["P"] = Partition(
+      "R", {IndexSet::interval(0, 5), IndexSet::interval(5, 12)});
+  // No opt-in flags at all: bounds are still validated.
+  VerifyReport report =
+      verifyPartitions(world, env, {expect("P", false, false)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::OutOfBounds);
+  EXPECT_NE(report.violations[0].detail.find("first at index 10"),
+            std::string::npos);
+}
+
+TEST_F(VerifyTest, MissingPartitionReported) {
+  VerifyReport report =
+      verifyPartitions(world, env, {expect("nope", false, false)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::MissingPartition);
+  EXPECT_EQ(report.violations[0].partition, "nope");
+}
+
+TEST_F(VerifyTest, WrongParentRegionReported) {
+  env["P"] = Partition("Q", {IndexSet::interval(0, 6)});
+  VerifyReport report =
+      verifyPartitions(world, env, {expect("P", false, false)});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::WrongRegion);
+  EXPECT_NE(report.violations[0].detail.find("'Q'"), std::string::npos);
+}
+
+TEST_F(VerifyTest, PieceCountMismatchReported) {
+  env["P"] = Partition(
+      "R", {IndexSet::interval(0, 5), IndexSet::interval(5, 10)});
+  PartitionExpectation e = expect("P", false, false);
+  e.pieces = 3;
+  VerifyReport report = verifyPartitions(world, env, {e});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::PieceCountMismatch);
+  EXPECT_NE(report.violations[0].detail.find("has 2"), std::string::npos);
+}
+
+TEST_F(VerifyTest, ContainmentEscapeReportsIndex) {
+  env["outer"] = Partition(
+      "R", {IndexSet::interval(0, 2), IndexSet::interval(4, 8)});
+  env["priv"] = Partition(
+      "R", {IndexSet::interval(0, 3), IndexSet::interval(4, 6)});
+  PartitionExpectation e = expect("priv", false, false);
+  e.containedIn = "outer";
+  VerifyReport report = verifyPartitions(world, env, {e});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::NotContained);
+  EXPECT_NE(report.violations[0].detail.find("first at index 2"),
+            std::string::npos);
+}
+
+TEST_F(VerifyTest, ContainmentTargetMustExist) {
+  env["priv"] = Partition("R", {IndexSet::interval(0, 3)});
+  PartitionExpectation e = expect("priv", false, false);
+  e.containedIn = "outer";
+  VerifyReport report = verifyPartitions(world, env, {e});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind, ViolationKind::MissingPartition);
+  EXPECT_EQ(report.violations[0].partition, "outer");
+}
+
+TEST_F(VerifyTest, AllViolationsCollectedAndThrown) {
+  env["A"] = Partition(
+      "R", {IndexSet::interval(0, 6), IndexSet::interval(5, 10)});
+  env["B"] = Partition(
+      "R", {IndexSet::interval(0, 4), IndexSet::interval(6, 10)});
+  PartitionExpectation a = expect("A", true, true);
+  a.why = "Direct reduction target";
+  PartitionExpectation b = expect("B", true, true);
+  VerifyReport report = verifyPartitions(world, env, {a, b});
+  EXPECT_EQ(report.violations.size(), 2u);  // not first-failure-only
+  // Provenance strings ride along into the rendered report.
+  EXPECT_NE(report.toString().find("Direct reduction target"),
+            std::string::npos);
+  try {
+    verifyPartitionsOrThrow(world, env, {a, b});
+    FAIL() << "expected PartitionViolation";
+  } catch (const PartitionViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NotDisjoint 'A'"), std::string::npos);
+    EXPECT_NE(what.find("NotComplete 'B'"), std::string::npos);
+    EXPECT_EQ(e.context().partition, "A");
+  }
+}
+
+}  // namespace
+}  // namespace dpart::region
