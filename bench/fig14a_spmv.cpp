@@ -36,11 +36,19 @@ int main() {
   // snapshot + expected-replay overhead of the fault-tolerant executor.
   sim::MachineConfig faulty = cfg;
   faulty.nodeMtbfSeconds = 86400;
-  auto resilient = bench::runVariant("Auto (resilient)", bench::nodeCounts(),
-                                     faulty, makeSetup, /*resilient=*/true);
+  auto resilient =
+      bench::runVariant("Auto (resilient)", bench::nodeCounts(), faulty,
+                        makeSetup, bench::FailureMode::Replay);
+
+  // Checkpointed variant: same failure rate, but recovery is durable
+  // checkpoint/restart at the Young/Daly-optimal interval (survives
+  // permanent node loss, unlike in-place replay).
+  auto checkpointed =
+      bench::runVariant("Auto (checkpointed)", bench::nodeCounts(), faulty,
+                        makeSetup, bench::FailureMode::Checkpoint);
 
   bench::printSeries("Figure 14a: SpMV weak scaling", "nnz/s",
-                     {series, resilient});
+                     {series, resilient, checkpointed});
   const double eff = series.points.back().throughputPerNode /
                      series.points.front().throughputPerNode;
   std::cout << "parallel efficiency at " << series.points.back().nodes
@@ -50,5 +58,22 @@ int main() {
                           1.0;
   std::cout << "resilience overhead at " << resilient.points.back().nodes
             << " nodes (MTBF 1 day/node): " << overhead * 100 << "%\n";
+
+  const int maxNodes = series.points.back().nodes;
+  {
+    bench::VariantRun run = makeSetup(maxNodes);
+    sim::ClusterSim sim(*run.world, faulty);
+    for (const auto& [r, o] : run.setup.owners) sim.setOwner(r, o);
+    const sim::CheckpointCost cc =
+        sim.checkpointCost(maxNodes, series.points.back().stepSeconds);
+    const double ckptOverhead = checkpointed.points.back().stepSeconds /
+                                    series.points.back().stepSeconds -
+                                1.0;
+    std::cout << "checkpoint overhead at " << maxNodes
+              << " nodes (Young/Daly interval " << cc.intervalSeconds
+              << " s, write " << cc.checkpointSeconds * 1e3 << " ms, "
+              << cc.stateBytesPerNode / 1e6 << " MB/node): "
+              << ckptOverhead * 100 << "%\n";
+  }
   return 0;
 }

@@ -27,14 +27,18 @@ struct VariantRun {
   const region::World* world = nullptr;
 };
 
-/// When `resilient` is true the series reports the failure-model step time
-/// (task snapshot + expected replay under cfg.nodeMtbfSeconds) instead of
-/// the fault-free time.
+/// What a variant's step time includes on top of the fault-free model.
+enum class FailureMode {
+  None,        ///< fault-free step time
+  Replay,      ///< task snapshot + expected in-place replay
+  Checkpoint,  ///< Young/Daly-interval checkpointing + expected restarts
+};
+
 inline apps::ScalingSeries runVariant(
     const std::string& name, const std::vector<int>& nodes,
     const sim::MachineConfig& cfg,
     const std::function<VariantRun(int)>& makeSetup,
-    bool resilient = false) {
+    FailureMode mode = FailureMode::None) {
   apps::ScalingSeries series;
   series.name = name;
   for (int n : nodes) {
@@ -43,7 +47,14 @@ inline apps::ScalingSeries runVariant(
     for (const auto& [r, o] : run.setup.owners) sim.setOwner(r, o);
     const sim::StepSimResult step =
         sim.simulateStepResilient(run.setup.plan, run.setup.partitions);
-    const double sec = resilient ? step.resilientSeconds : step.seconds;
+    double sec = step.seconds;
+    if (mode == FailureMode::Replay) sec = step.resilientSeconds;
+    if (mode == FailureMode::Checkpoint) {
+      // Checkpoint/restart replaces in-place replay (a restore rolls the
+      // whole machine back past any per-task recovery), so the waste
+      // fraction applies to the plain step time.
+      sec = sim.checkpointCost(n, step.seconds).checkpointedSeconds;
+    }
     series.points.push_back(apps::ScalingPoint{
         n, sec, run.workPerNode / sec});
   }

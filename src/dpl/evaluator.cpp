@@ -133,13 +133,33 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
               std::move(ctx));
         }
         case FaultKind::Straggler:
-          std::this_thread::sleep_for(
-              std::chrono::microseconds(fault->stragglerMicros));
+          // Attributed to the dedicated stall counter (never the stalled
+          // operator's wall time), so per-op timings in the bench JSON stay
+          // comparable between faulty and fault-free runs.
+          counters_.injectedStallMicros += fault->stragglerMicros;
+          if (sleepHook_) {
+            sleepHook_(fault->stragglerMicros);
+          } else {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(fault->stragglerMicros));
+          }
           break;
         case FaultKind::Poison:
           poison = true;
           poisonMagnitude = fault->magnitude;
           break;
+        case FaultKind::PermanentCrash: {
+          // No node granularity inside operator evaluation: a permanently
+          // dead evaluator is as fatal as a crashed one.
+          ErrorContext ctx;
+          ctx.site = opSite(expr->kind);
+          throw EvalFailure(
+              "injected fault: DPL operator lost its node evaluating " +
+                  expr->toString(),
+              std::move(ctx));
+        }
+        case FaultKind::CorruptCheckpoint:
+          break;  // only meaningful at checkpoint:write sites
       }
     }
   }

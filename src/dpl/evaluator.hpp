@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -76,6 +77,16 @@ class Evaluator {
 
   [[nodiscard]] std::size_t pieces() const { return pieces_; }
 
+  /// Re-targets the evaluator at a new piece count (elastic shrink after a
+  /// permanent node loss). Drops every binding and memoized result: `equal`
+  /// nodes are instantiated with the piece count, so nothing materialized at
+  /// the old count is reusable. Counters keep accumulating across the reset.
+  void reset(std::size_t pieces) {
+    pieces_ = pieces;
+    env_.clear();
+    cache_.clear();
+  }
+
   /// Memoization is on by default; turning it off makes every eval()
   /// recompute from scratch (used by the differential tests' reference).
   void setMemoize(bool on) { memoize_ = on; }
@@ -94,6 +105,14 @@ class Evaluator {
   /// element), which the partition legality verifier is expected to catch.
   /// nullptr (the default) disables injection.
   void setFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Replaces the real sleep used by injected Straggler stalls, so tests can
+  /// run fault scenarios without wall-clock delays. The stall is always
+  /// recorded in counters().injectedStallMicros, never in operator wall
+  /// time. Must be thread-safe; empty restores real sleeping.
+  void setSleepHook(std::function<void(std::uint64_t)> hook) {
+    sleepHook_ = std::move(hook);
+  }
 
  private:
   /// Evaluates expr, consulting/populating the memo cache at every
@@ -114,6 +133,7 @@ class Evaluator {
   std::unique_ptr<ThreadPool> ownedPool_;
   ThreadPool* pool_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  std::function<void(std::uint64_t)> sleepHook_;
 };
 
 }  // namespace dpart::dpl

@@ -1,0 +1,244 @@
+#include "region/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace dpart::region {
+
+namespace {
+
+constexpr std::uint8_t kTagF64 = 0;
+constexpr std::uint8_t kTagIdx = 1;
+constexpr std::uint8_t kTagRange = 2;
+
+std::uint8_t tagOf(FieldType t) {
+  switch (t) {
+    case FieldType::F64: return kTagF64;
+    case FieldType::Idx: return kTagIdx;
+    case FieldType::Range: return kTagRange;
+  }
+  DPART_UNREACHABLE("bad FieldType");
+}
+
+/// One staged field column, decoded but not yet committed to the World.
+struct StagedField {
+  std::string name;
+  std::uint8_t tag = kTagF64;
+  std::vector<double> f64;
+  std::vector<Index> idx;
+  std::vector<Run> range;
+};
+
+struct StagedRegion {
+  std::string name;
+  Index size = 0;
+  std::vector<StagedField> fields;
+};
+
+[[noreturn]] void mismatch(const std::string& what) {
+  throw CheckpointCorruption("snapshot does not match live World: " + what);
+}
+
+}  // namespace
+
+void writeIndexSet(BinaryWriter& w, const IndexSet& set) {
+  const auto runs = set.runs();
+  w.u64(runs.size());
+  for (const Run& run : runs) {
+    w.i64(run.lo);
+    w.i64(run.hi);
+  }
+}
+
+IndexSet readIndexSet(BinaryReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<Run> runs;
+  runs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Index lo = r.i64();
+    const Index hi = r.i64();
+    if (hi <= lo) {
+      throw CheckpointCorruption("snapshot IndexSet has empty run [" +
+                                 std::to_string(lo) + "," +
+                                 std::to_string(hi) + ")");
+    }
+    runs.push_back(Run{lo, hi});
+  }
+  // fromRuns re-normalizes, so even a tampered-but-CRC-colliding payload
+  // cannot smuggle an invariant-breaking set into the runtime.
+  return IndexSet::fromRuns(std::move(runs));
+}
+
+void writePartition(BinaryWriter& w, const Partition& p) {
+  w.str(p.regionName());
+  w.u64(p.count());
+  for (const IndexSet& sub : p.subregions()) writeIndexSet(w, sub);
+}
+
+Partition readPartition(BinaryReader& r) {
+  std::string regionName = r.str();
+  const std::uint64_t n = r.u64();
+  std::vector<IndexSet> subs;
+  subs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) subs.push_back(readIndexSet(r));
+  return Partition(std::move(regionName), std::move(subs));
+}
+
+void writePartitionMap(BinaryWriter& w,
+                       const std::map<std::string, Partition>& parts) {
+  w.u64(parts.size());
+  for (const auto& [name, part] : parts) {
+    w.str(name);
+    writePartition(w, part);
+  }
+}
+
+std::map<std::string, Partition> readPartitionMap(BinaryReader& r) {
+  const std::uint64_t n = r.u64();
+  std::map<std::string, Partition> parts;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    parts.emplace(std::move(name), readPartition(r));
+  }
+  return parts;
+}
+
+void snapshotWorld(BinaryWriter& w, const World& world) {
+  const std::vector<std::string> regionNames = world.regionNames();
+  w.u64(regionNames.size());
+  for (const std::string& regionName : regionNames) {
+    const Region& region = world.region(regionName);
+    w.str(regionName);
+    w.i64(region.size());
+    const std::vector<std::string> fieldNames = region.fieldNames();
+    w.u64(fieldNames.size());
+    for (const std::string& fieldName : fieldNames) {
+      w.str(fieldName);
+      const FieldType type = region.fieldType(fieldName);
+      w.u8(tagOf(type));
+      switch (type) {
+        case FieldType::F64:
+          for (double v : region.f64(fieldName)) w.f64(v);
+          break;
+        case FieldType::Idx:
+          for (Index v : region.idx(fieldName)) w.i64(v);
+          break;
+        case FieldType::Range:
+          for (const Run& v : region.range(fieldName)) {
+            w.i64(v.lo);
+            w.i64(v.hi);
+          }
+          break;
+      }
+    }
+  }
+  const std::vector<std::string> fnIds = world.fnIds();
+  w.u64(fnIds.size());
+  for (const std::string& id : fnIds) w.str(id);
+}
+
+void restoreWorld(BinaryReader& r, World& world) {
+  // Stage: decode everything before touching the World, so any read error
+  // (truncation mid-column, bad type tag) aborts with the World intact.
+  const std::uint64_t regionCount = r.u64();
+  std::vector<StagedRegion> staged;
+  staged.reserve(regionCount);
+  for (std::uint64_t ri = 0; ri < regionCount; ++ri) {
+    StagedRegion sr;
+    sr.name = r.str();
+    sr.size = r.i64();
+    if (sr.size < 0) mismatch("negative size for region '" + sr.name + "'");
+    const std::uint64_t fieldCount = r.u64();
+    for (std::uint64_t fi = 0; fi < fieldCount; ++fi) {
+      StagedField sf;
+      sf.name = r.str();
+      sf.tag = r.u8();
+      const auto n = static_cast<std::size_t>(sr.size);
+      switch (sf.tag) {
+        case kTagF64:
+          sf.f64.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) sf.f64.push_back(r.f64());
+          break;
+        case kTagIdx:
+          sf.idx.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) sf.idx.push_back(r.i64());
+          break;
+        case kTagRange:
+          sf.range.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            const Index lo = r.i64();
+            const Index hi = r.i64();
+            sf.range.push_back(Run{lo, hi});
+          }
+          break;
+        default:
+          throw CheckpointCorruption("snapshot field '" + sr.name + "." +
+                                     sf.name + "' has bad type tag " +
+                                     std::to_string(sf.tag));
+      }
+      sr.fields.push_back(std::move(sf));
+    }
+    staged.push_back(std::move(sr));
+  }
+  const std::uint64_t fnCount = r.u64();
+  std::vector<std::string> fnIds;
+  fnIds.reserve(fnCount);
+  for (std::uint64_t i = 0; i < fnCount; ++i) fnIds.push_back(r.str());
+  r.expectEnd();
+
+  // Validate: the live World must have exactly the snapshot's structure.
+  const std::vector<std::string> liveRegions = world.regionNames();
+  if (liveRegions.size() != staged.size()) {
+    mismatch("snapshot has " + std::to_string(staged.size()) +
+             " region(s), World has " + std::to_string(liveRegions.size()));
+  }
+  for (const StagedRegion& sr : staged) {
+    if (!world.hasRegion(sr.name)) mismatch("no region '" + sr.name + "'");
+    const Region& region = std::as_const(world).region(sr.name);
+    if (region.size() != sr.size) {
+      mismatch("region '" + sr.name + "' has size " +
+               std::to_string(region.size()) + ", snapshot has " +
+               std::to_string(sr.size));
+    }
+    const std::vector<std::string> liveFields = region.fieldNames();
+    if (liveFields.size() != sr.fields.size()) {
+      mismatch("region '" + sr.name + "' field count differs");
+    }
+    for (const StagedField& sf : sr.fields) {
+      if (!region.hasField(sf.name)) {
+        mismatch("region '" + sr.name + "' has no field '" + sf.name + "'");
+      }
+      if (tagOf(region.fieldType(sf.name)) != sf.tag) {
+        mismatch("field '" + sr.name + "." + sf.name + "' type differs");
+      }
+    }
+  }
+  std::vector<std::string> liveFns = world.fnIds();
+  std::sort(liveFns.begin(), liveFns.end());
+  std::sort(fnIds.begin(), fnIds.end());
+  if (liveFns != fnIds) mismatch("registered function ids differ");
+
+  // Commit: overwrite every column in place.
+  for (const StagedRegion& sr : staged) {
+    Region& region = world.region(sr.name);
+    for (const StagedField& sf : sr.fields) {
+      switch (sf.tag) {
+        case kTagF64:
+          std::copy(sf.f64.begin(), sf.f64.end(), region.f64(sf.name).begin());
+          break;
+        case kTagIdx:
+          std::copy(sf.idx.begin(), sf.idx.end(), region.idx(sf.name).begin());
+          break;
+        case kTagRange:
+          std::copy(sf.range.begin(), sf.range.end(),
+                    region.range(sf.name).begin());
+          break;
+        default: DPART_UNREACHABLE("validated tag");
+      }
+    }
+  }
+}
+
+}  // namespace dpart::region

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "region/partition.hpp"
+#include "region/world.hpp"
+#include "support/fault.hpp"
+
+namespace dpart::parallelize {
+struct ParallelPlan;
+}  // namespace dpart::parallelize
+
+namespace dpart::runtime {
+
+/// Metadata stored with every checkpoint generation.
+struct CheckpointMeta {
+  std::uint64_t generation = 0;
+  /// Number of loop launches completed when the checkpoint was taken; a
+  /// restore resumes execution from this launch index.
+  std::uint64_t launchIndex = 0;
+  /// FNV-1a hash of the plan the run was executing; restoreLatest skips
+  /// checkpoints taken under a different plan.
+  std::uint64_t planHash = 0;
+  /// Piece count at checkpoint time (informational — a restore may shrink).
+  std::uint64_t pieces = 0;
+};
+
+/// Durable end-of-launch checkpoints with bounded retention.
+///
+/// Layout inside the checkpoint directory:
+///   ckpt-NNNNNN.dpc  — framed (support/serialize) blob per generation
+///   MANIFEST         — one text line per retained generation
+/// Every file is written atomically (temp file + rename), so a crash during
+/// a checkpoint leaves at worst a stale .tmp, never a torn generation. A
+/// corrupted generation is detected on read (CRC32) and restoreLatest falls
+/// back to the next older one.
+class CheckpointManager {
+ public:
+  /// Scans `dir` (created if missing) for existing generations, so a
+  /// restarted process resumes numbering and can restore what the previous
+  /// incarnation wrote.
+  explicit CheckpointManager(std::string dir, int retain = 3);
+
+  /// Takes one checkpoint: meta + full World snapshot + externally bound
+  /// partitions. `injector`, when set, is consulted at the site
+  /// "checkpoint:write:<generation>" — a CorruptCheckpoint fault flips
+  /// payload bytes after the CRC is computed, modelling silent media
+  /// corruption. Retention: the oldest generations beyond `retain` are
+  /// deleted and the MANIFEST is rewritten.
+  void write(const region::World& world,
+             const std::map<std::string, region::Partition>& externals,
+             std::uint64_t launchIndex, std::uint64_t planHash,
+             std::uint64_t pieces, FaultInjector* injector = nullptr);
+
+  struct Restored {
+    CheckpointMeta meta;
+    std::map<std::string, region::Partition> externals;
+    /// Generations that had to be skipped (corrupt or wrong plan) before a
+    /// valid one was found.
+    int fallbacks = 0;
+  };
+
+  /// Restores the newest valid generation into `world`. Corrupt generations
+  /// (unreadable, CRC mismatch, schema mismatch) and — when `planHash` is
+  /// non-zero — generations from a different plan are skipped newest-first.
+  /// Throws CheckpointCorruption when no generation survives.
+  [[nodiscard]] Restored restoreLatest(region::World& world,
+                                       std::uint64_t planHash = 0);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::size_t generations() const { return generations_.size(); }
+  [[nodiscard]] std::uint64_t latestGeneration() const {
+    return generations_.empty() ? 0 : generations_.back();
+  }
+
+  /// FNV-1a over the plan's printed form — stable across runs of the same
+  /// binary and cheap enough to compute per checkpoint.
+  [[nodiscard]] static std::uint64_t hashPlan(
+      const parallelize::ParallelPlan& plan);
+
+ private:
+  [[nodiscard]] std::string fileFor(std::uint64_t generation) const;
+  void rewriteManifest(
+      const std::vector<std::pair<std::uint64_t, CheckpointMeta>>& kept);
+
+  std::string dir_;
+  int retain_;
+  std::vector<std::uint64_t> generations_;  // ascending
+  std::map<std::uint64_t, CheckpointMeta> metas_;
+};
+
+}  // namespace dpart::runtime

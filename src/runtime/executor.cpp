@@ -27,12 +27,32 @@ PlanExecutor::PlanExecutor(region::World& world,
       evaluator_(world, pieces, pool_) {
   DPART_CHECK(pieces_ > 0, "need at least one piece");
   evaluator_.setFaultInjector(options_.faultInjector);
+  evaluator_.setSleepHook(options_.sleepMicros);
+  liveNodes_.resize(pieces_);
+  for (std::size_t j = 0; j < pieces_; ++j) liveNodes_[j] = j;
+  if (!options_.checkpointDir.empty()) {
+    DPART_CHECK(options_.checkpointEveryNLaunches >= 1,
+                "checkpointEveryNLaunches must be at least 1");
+    checkpoints_ = std::make_unique<CheckpointManager>(
+        options_.checkpointDir, options_.checkpointRetain);
+    planHash_ = CheckpointManager::hashPlan(plan_);
+  }
 }
 
 void PlanExecutor::bindExternal(const std::string& name,
                                 Partition partition) {
   DPART_CHECK(!prepared_, "bindExternal() must precede preparePartitions()");
+  externals_.insert_or_assign(name, partition);
   evaluator_.bind(name, std::move(partition));
+}
+
+void PlanExecutor::sleepFor(std::uint64_t micros) const {
+  if (micros == 0) return;
+  if (options_.sleepMicros) {
+    options_.sleepMicros(micros);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
 }
 
 void PlanExecutor::preparePartitions() {
@@ -413,9 +433,10 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
     const std::string site = "loop:" + loop.loop->name;
     if (auto fault = options_.faultInjector->fire(site)) {
       if (fault->kind == FaultKind::Straggler) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(fault->stragglerMicros));
-      } else {
+        stallMicros_.fetch_add(fault->stragglerMicros,
+                               std::memory_order_relaxed);
+        sleepFor(fault->stragglerMicros);
+      } else if (fault->kind != FaultKind::CorruptCheckpoint) {
         // Loop-level faults fire before any task mutates state, so there is
         // nothing to roll back — the launch simply failed.
         ErrorContext ctx;
@@ -448,12 +469,27 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   std::vector<std::unique_ptr<TaskHooks>> hooks(pieces_);
   const auto& env = partitions();
   std::atomic<std::size_t> loopReplays{0};
+  // Replays already performed must survive an escalating failure (retry
+  // exhaustion aborts the launch mid-parallelFor), so merge on every exit.
+  struct ReplayMerge {
+    std::atomic<std::size_t>& from;
+    std::atomic<std::size_t>& to;
+    ~ReplayMerge() {
+      to.fetch_add(from.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    }
+  } replayMerge{loopReplays, replays_};
 
   pool_.parallelFor(pieces_, [&](std::size_t j) {
     const IndexSet* own = needOwnership ? &ownership[j] : nullptr;
     const IndexSet& iters = iter.sub(j);
     const std::string site =
         "task:" + loop.loop->name + ":" + std::to_string(j);
+    // Task j of every launch runs on node liveNodes_[j]; the node site is
+    // keyed on the (stable) node id, not the (shrinkable) piece number, so
+    // "node:2" still names the same machine after an elastic shrink.
+    const std::size_t nodeId = liveNodes_[j];
+    const std::string nodeSite = "node:" + std::to_string(nodeId);
     FaultInjector* injector = options_.faultInjector;
 
     // The footprint sets are needed to snapshot (resilient mode) and as the
@@ -469,6 +505,23 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
                                              options_.validateAccesses, own);
       try {
         if (injector != nullptr) {
+          if (auto fault = injector->fire(nodeSite);
+              fault && fault->kind == FaultKind::PermanentCrash) {
+            // The host dies mid-task: a deterministic prefix of the work
+            // lands in memory, then the machine is gone for good. Thrown as
+            // NodeLossError (not TaskFailure) so in-place replay cannot
+            // catch it — only a checkpoint restore with the node removed
+            // recovers.
+            runner.run(prefixOf(iters, fault->magnitude), hooks[j].get());
+            ErrorContext ctx;
+            ctx.site = nodeSite;
+            ctx.loop = loop.loop->name;
+            ctx.piece = static_cast<int>(j);
+            ctx.attempt = attempt;
+            throw NodeLossError(nodeId,
+                                "injected fault: node lost permanently",
+                                std::move(ctx));
+          }
           if (auto fault = injector->fire(site)) {
             ErrorContext ctx;
             ctx.site = site;
@@ -477,8 +530,9 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
             ctx.attempt = attempt;
             switch (fault->kind) {
               case FaultKind::Straggler:
-                std::this_thread::sleep_for(
-                    std::chrono::microseconds(fault->stragglerMicros));
+                stallMicros_.fetch_add(fault->stragglerMicros,
+                                       std::memory_order_relaxed);
+                sleepFor(fault->stragglerMicros);
                 break;
               case FaultKind::Poison:
                 // A dying node scribbles over its own write footprint —
@@ -492,6 +546,15 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
                 runner.run(prefixOf(iters, fault->magnitude), hooks[j].get());
                 throw TaskFailure("injected fault: task crashed mid-run",
                                   std::move(ctx));
+              case FaultKind::PermanentCrash:
+                // Same death as at the node site, for callers that arm
+                // "task:..." directly.
+                runner.run(prefixOf(iters, fault->magnitude), hooks[j].get());
+                throw NodeLossError(nodeId,
+                                    "injected fault: node lost permanently",
+                                    std::move(ctx));
+              case FaultKind::CorruptCheckpoint:
+                break;  // only meaningful at checkpoint:write sites
             }
           }
         }
@@ -513,13 +576,11 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
         }
         loopReplays.fetch_add(1, std::memory_order_relaxed);
         if (options_.retryBackoffMicros > 0) {
-          std::this_thread::sleep_for(std::chrono::microseconds(
-              options_.retryBackoffMicros << attempt));
+          sleepFor(options_.retryBackoffMicros << attempt);
         }
       }
     }
   });
-  replays_.fetch_add(loopReplays.load(), std::memory_order_relaxed);
 
   // Merge reduction buffers in task order (deterministic).
   for (std::size_t j = 0; j < pieces_; ++j) {
@@ -550,10 +611,101 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   }
 }
 
+void PlanExecutor::checkpoint() {
+  checkpoints_->write(world_, externals_, launchesDone_, planHash_, pieces_,
+                      options_.faultInjector);
+}
+
+void PlanExecutor::restoreFromCheckpoint(std::optional<std::size_t> lostNode) {
+  if (lostNode.has_value()) {
+    auto it = std::find(liveNodes_.begin(), liveNodes_.end(), *lostNode);
+    if (it != liveNodes_.end()) liveNodes_.erase(it);
+    DPART_CHECK(!liveNodes_.empty(), "no surviving nodes to restore onto");
+  }
+  CheckpointManager::Restored restored =
+      checkpoints_->restoreLatest(world_, planHash_);
+  ++checkpointRestores_;
+  if (liveNodes_.size() != pieces_) {
+    // Elastic shrink: the constraint solution is machine-size-agnostic, so
+    // the same DPL program re-evaluates at the surviving piece count — no
+    // new solve, no hand migration of state.
+    pieces_ = liveNodes_.size();
+    ++elasticShrinks_;
+  }
+  evaluator_.reset(pieces_);
+  externals_.clear();
+  for (auto& [name, part] : restored.externals) {
+    Partition rebound;
+    if (part.count() == pieces_) {
+      rebound = std::move(part);
+    } else if (options_.externalRebind) {
+      rebound = options_.externalRebind(name, pieces_);
+    } else {
+      throw Error("external partition '" + name + "' was checkpointed with " +
+                  std::to_string(part.count()) +
+                  " piece(s) but the machine shrank to " +
+                  std::to_string(pieces_) +
+                  "; set ExecOptions::externalRebind to rebuild it");
+    }
+    externals_.insert_or_assign(name, rebound);
+    evaluator_.bind(name, std::move(rebound));
+  }
+  prepared_ = false;
+  preparePartitions();
+  // Unconditional post-restore legality pass: resuming on partitions that
+  // silently broke the plan's assumptions would corrupt state far from the
+  // fault, so recovery always pays for the verifier.
+  region::verifyPartitionsOrThrow(world_, evaluator_.env(),
+                                  planExpectations(plan_, pieces_));
+  launchesDone_ = restored.meta.launchIndex;
+}
+
 void PlanExecutor::run() {
   preparePartitions();
-  for (const parallelize::PlannedLoop& loop : plan_.loops) {
-    runLoop(loop);
+  if (plan_.loops.empty()) return;
+  if (checkpoints_ != nullptr && checkpoints_->generations() == 0) {
+    // Baseline generation: a fault in the very first launch must have
+    // something to restore to.
+    checkpoint();
+  }
+  const std::size_t nLoops = plan_.loops.size();
+  // The launch index is global across run() calls: launch L executes loop
+  // L % nLoops, so a restore that rewinds into a previous step replays the
+  // right loops in the right order.
+  const std::uint64_t target = launchesDone_ + nLoops;
+  while (launchesDone_ < target) {
+    const bool mayRestore =
+        checkpoints_ != nullptr &&
+        checkpointRestores_ <
+            static_cast<std::size_t>(options_.maxCheckpointRestores);
+    try {
+      runLoop(plan_.loops[launchesDone_ % nLoops]);
+    } catch (const NodeLossError& loss) {
+      if (!mayRestore) throw;
+      restoreFromCheckpoint(loss.node());
+      continue;
+    } catch (const TaskFailure& failure) {
+      if (!mayRestore) throw;
+      const int piece = failure.context().piece;
+      if (piece >= 0 && static_cast<std::size_t>(piece) < liveNodes_.size()) {
+        // Replay exhaustion: the task died maxTaskRetries + 1 times in a
+        // row, so its host is presumed permanently gone and removed from
+        // the machine before the restore.
+        restoreFromCheckpoint(liveNodes_[static_cast<std::size_t>(piece)]);
+      } else {
+        // Launch-level failure with no culprit node: restore without
+        // shrinking.
+        restoreFromCheckpoint(std::nullopt);
+      }
+      continue;
+    }
+    ++launchesDone_;
+    if (checkpoints_ != nullptr &&
+        launchesDone_ % static_cast<std::uint64_t>(
+                            options_.checkpointEveryNLaunches) ==
+            0) {
+      checkpoint();
+    }
   }
 }
 

@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,11 +15,32 @@
 #include "region/partition.hpp"
 #include "region/verify.hpp"
 #include "region/world.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/thread_pool.hpp"
 #include "support/fault.hpp"
 #include "support/perf_counters.hpp"
 
 namespace dpart::runtime {
+
+/// A node died for good (FaultKind::PermanentCrash on a "node:<id>" site, or
+/// a task that exhausted its replays and whose host is therefore presumed
+/// dead). Deliberately NOT a TaskFailure: in-place replay must not catch it —
+/// the only recovery is a checkpoint restore with the node removed from the
+/// machine (elastic shrink).
+class NodeLossError : public Error {
+ public:
+  NodeLossError(std::size_t node, const std::string& what,
+                ErrorContext context = {})
+      : Error(what + context.describe()),
+        node_(node),
+        context_(std::move(context)) {}
+  [[nodiscard]] std::size_t node() const { return node_; }
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  std::size_t node_;
+  ErrorContext context_;
+};
 
 struct ExecOptions {
   /// Worker threads; 0 = hardware concurrency.
@@ -42,6 +66,26 @@ struct ExecOptions {
   /// Run the partition legality verifier (region/verify) after
   /// preparePartitions() and after any loop launch that replayed a task.
   bool verifyPartitions = false;
+  /// Replaces the real sleep behind straggler stalls and retry backoff, so
+  /// fault tests run without wall-clock delays. Must be thread-safe (tasks
+  /// sleep concurrently); empty keeps real sleeping.
+  std::function<void(std::uint64_t)> sleepMicros;
+  /// Directory for durable end-of-launch checkpoints (created if missing);
+  /// empty disables checkpointing, and with it restore/elastic-shrink
+  /// escalation.
+  std::string checkpointDir;
+  /// Take a checkpoint after every N completed loop launches. A baseline
+  /// checkpoint (launch 0) is always taken before the first launch.
+  int checkpointEveryNLaunches = 1;
+  /// Checkpoint generations kept on disk (older ones are deleted).
+  int checkpointRetain = 3;
+  /// Give up (propagate the fault) after this many checkpoint restores.
+  int maxCheckpointRestores = 16;
+  /// Rebuilds an externally bound partition for a new piece count after an
+  /// elastic shrink. Without it, a shrink with externals whose piece count
+  /// no longer matches fails the restore.
+  std::function<region::Partition(const std::string&, std::size_t)>
+      externalRebind;
 };
 
 /// Derives the legality properties a plan assumes of its evaluated
@@ -81,7 +125,13 @@ class PlanExecutor {
   /// needed; exposed so tests and benchmarks can inspect partitions.
   void preparePartitions();
 
-  /// Runs all planned loops once, in program order.
+  /// Runs all planned loops once, in program order. With checkpointing
+  /// enabled (ExecOptions::checkpointDir), every completed launch advances a
+  /// global launch index, checkpoints are taken at the configured cadence,
+  /// and a NodeLossError (or a task that exhausted its replays) triggers a
+  /// restore from the latest valid checkpoint — shrinking to the surviving
+  /// piece count when a node was lost — and resumption from the
+  /// checkpointed launch index.
   void run();
 
   /// Runs one planned loop (partitions must be prepared).
@@ -94,6 +144,30 @@ class PlanExecutor {
 
   /// Task replays performed so far (resilient mode).
   [[nodiscard]] std::size_t taskReplays() const { return replays_.load(); }
+
+  /// Checkpoint restores performed so far (checkpointing mode).
+  [[nodiscard]] std::size_t checkpointRestores() const {
+    return checkpointRestores_;
+  }
+
+  /// Restores that shrank the machine because a node was permanently lost.
+  [[nodiscard]] std::size_t elasticShrinks() const { return elasticShrinks_; }
+
+  /// Loop launches completed (across run() calls; rewound by a restore).
+  [[nodiscard]] std::uint64_t launchesDone() const { return launchesDone_; }
+
+  /// Total injected straggler stall time, task-level plus DPL-operator
+  /// level. Kept out of every operator wall-time counter so the bench JSON
+  /// stays comparable between faulty and fault-free runs.
+  [[nodiscard]] std::uint64_t injectedStallMicros() const {
+    return stallMicros_.load() + evaluator_.counters().injectedStallMicros;
+  }
+
+  /// The CheckpointManager behind this executor, or nullptr when
+  /// checkpointing is disabled.
+  [[nodiscard]] CheckpointManager* checkpointManager() {
+    return checkpoints_.get();
+  }
 
   [[nodiscard]] const std::map<std::string, region::Partition>& partitions()
       const;
@@ -115,6 +189,17 @@ class PlanExecutor {
   }
 
  private:
+  /// Sleeps via ExecOptions::sleepMicros when set, for real otherwise.
+  void sleepFor(std::uint64_t micros) const;
+
+  /// Takes one checkpoint at the current launch index.
+  void checkpoint();
+
+  /// Restores the latest valid checkpoint (removing `lostNode` from the
+  /// machine first, when set), re-derives every partition at the surviving
+  /// piece count, verifies legality, and rewinds launchesDone_.
+  void restoreFromCheckpoint(std::optional<std::size_t> lostNode);
+
   region::World& world_;
   const parallelize::ParallelPlan& plan_;
   std::size_t pieces_;
@@ -126,6 +211,18 @@ class PlanExecutor {
   bool prepared_ = false;
   std::size_t bufferedElements_ = 0;
   std::atomic<std::size_t> replays_{0};
+  /// Node ids still alive; task j of a launch runs on liveNodes_[j], and
+  /// pieces_ == liveNodes_.size() at all times.
+  std::vector<std::size_t> liveNodes_;
+  /// Externally bound partitions, remembered for checkpointing and for
+  /// rebinding after a restore.
+  std::map<std::string, region::Partition> externals_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
+  std::uint64_t planHash_ = 0;
+  std::uint64_t launchesDone_ = 0;
+  std::size_t checkpointRestores_ = 0;
+  std::size_t elasticShrinks_ = 0;
+  std::atomic<std::uint64_t> stallMicros_{0};
 };
 
 }  // namespace dpart::runtime

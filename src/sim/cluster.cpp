@@ -1,6 +1,7 @@
 #include "sim/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
 
@@ -285,6 +286,42 @@ StepSimResult ClusterSim::simulateStepResilient(
     total.expectedFailures += r.expectedFailures;
   }
   return total;
+}
+
+CheckpointCost ClusterSim::checkpointCost(int nodes,
+                                          double stepSeconds) const {
+  DPART_CHECK(nodes > 0, "need at least one node");
+  CheckpointCost out;
+  out.checkpointedSeconds = stepSeconds;
+  double totalBytes = 0;
+  for (const std::string& regionName : world_.regionNames()) {
+    const region::Region& r = world_.region(regionName);
+    for (const std::string& field : r.fieldNames()) {
+      // A Range field stores two indices per element.
+      const double perElem =
+          r.fieldType(field) == region::FieldType::Range
+              ? 2 * config_.bytesPerElem
+              : config_.bytesPerElem;
+      totalBytes += static_cast<double>(r.size()) * perElem;
+    }
+  }
+  out.stateBytesPerNode = totalBytes / nodes;
+  if (config_.nodeMtbfSeconds <= 0 || config_.checkpointBandwidth <= 0 ||
+      totalBytes <= 0) {
+    return out;  // failure or checkpoint model disabled: no overhead
+  }
+  // Nodes write their shard of the state in parallel, so one checkpoint
+  // costs one node-share of durable bandwidth regardless of machine size.
+  out.checkpointSeconds = out.stateBytesPerNode / config_.checkpointBandwidth;
+  out.systemMtbfSeconds = config_.nodeMtbfSeconds / nodes;
+  out.intervalSeconds =
+      std::sqrt(2 * out.checkpointSeconds * out.systemMtbfSeconds);
+  out.wasteFraction =
+      out.checkpointSeconds / out.intervalSeconds +
+      (config_.restartSeconds + out.intervalSeconds / 2) /
+          out.systemMtbfSeconds;
+  out.checkpointedSeconds = stepSeconds * (1 + out.wasteFraction);
+  return out;
 }
 
 }  // namespace dpart::sim

@@ -38,6 +38,12 @@ struct MachineConfig {
   double nodeMtbfSeconds = 0;
   /// Fixed detection + re-launch latency per task replay, seconds.
   double replayLatency = 100e-6;
+  /// Per-node bandwidth to durable checkpoint storage, bytes/s; 0 disables
+  /// the checkpoint model (checkpointCost reports zero overhead).
+  double checkpointBandwidth = 2e9;
+  /// Failure detection + checkpoint read-back + partition re-derivation
+  /// latency charged per restart, seconds.
+  double restartSeconds = 15;
 };
 
 /// Per-task cost breakdown of one simulated loop launch.
@@ -70,6 +76,22 @@ struct StepSimResult {
   double seconds = 0;
   double resilientSeconds = 0;
   double expectedFailures = 0;
+};
+
+/// Checkpoint/restart economics for one machine size, per the Young/Daly
+/// first-order model: with checkpoint write time δ and system MTBF M, the
+/// optimal interval is τ = sqrt(2δM) (Young's approximation; Daly's
+/// higher-order refinement converges to the same value in our δ << M
+/// regime) and the expected waste fraction is δ/τ (writing) plus
+/// (restart + τ/2)/M (each failure pays a restart and on average re-runs
+/// half an interval).
+struct CheckpointCost {
+  double stateBytesPerNode = 0;
+  double checkpointSeconds = 0;    ///< δ: one checkpoint write
+  double systemMtbfSeconds = 0;    ///< M: nodeMtbfSeconds / nodes
+  double intervalSeconds = 0;      ///< τ = sqrt(2 δ M)
+  double wasteFraction = 0;        ///< δ/τ + (restart + τ/2)/M
+  double checkpointedSeconds = 0;  ///< stepSeconds * (1 + wasteFraction)
 };
 
 /// Distributed-memory cost model driven by concrete partitions.
@@ -107,6 +129,14 @@ class ClusterSim {
   [[nodiscard]] StepSimResult simulateStepResilient(
       const parallelize::ParallelPlan& plan,
       const std::map<std::string, region::Partition>& partitions) const;
+
+  /// Checkpoint/restart overhead at the Young/Daly-optimal interval for a
+  /// step of the given duration on `nodes` nodes. Checkpointed state is the
+  /// World's full field data (what runtime::CheckpointManager serializes),
+  /// divided evenly across nodes writing in parallel. Zero overhead when
+  /// nodeMtbfSeconds or checkpointBandwidth is 0.
+  [[nodiscard]] CheckpointCost checkpointCost(int nodes,
+                                              double stepSeconds) const;
 
   /// Cumulative derivation depth of each partition symbol defined by a DPL
   /// program (aliases share their target's depth).

@@ -90,6 +90,22 @@ class EvalFailure : public Error {
   ErrorContext context_;
 };
 
+/// A durable checkpoint failed validation: unreadable or truncated file, bad
+/// magic/version, CRC32 mismatch (support/serialize framing), or a payload
+/// that does not match the World it is being restored into.
+/// runtime::CheckpointManager treats this as "fall back to the previous
+/// generation"; it only propagates when no generation survives.
+class CheckpointCorruption : public Error {
+ public:
+  explicit CheckpointCorruption(const std::string& what,
+                                ErrorContext context = {})
+      : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
+};
+
 namespace detail {
 [[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
                                    const std::string& msg) {

@@ -15,6 +15,14 @@ enum class FaultKind {
   Crash,      ///< the site throws after doing a deterministic part of its work
   Poison,     ///< the site corrupts its result before failing/continuing
   Straggler,  ///< the site stalls for `stragglerMicros` before proceeding
+  /// A "node:<id>" site dies for good: unlike Crash, the executor must not
+  /// retry in place — it escalates to checkpoint restore with the node
+  /// removed from the machine (elastic shrink).
+  PermanentCrash,
+  /// A "checkpoint:write:<gen>" site flips bytes in the serialized blob
+  /// *after* the CRC32 is computed, modelling silent media corruption that
+  /// the framed reader must detect and fall back from.
+  CorruptCheckpoint,
 };
 
 inline const char* toString(FaultKind k) {
@@ -22,6 +30,8 @@ inline const char* toString(FaultKind k) {
     case FaultKind::Crash: return "Crash";
     case FaultKind::Poison: return "Poison";
     case FaultKind::Straggler: return "Straggler";
+    case FaultKind::PermanentCrash: return "PermanentCrash";
+    case FaultKind::CorruptCheckpoint: return "CorruptCheckpoint";
   }
   return "?";
 }

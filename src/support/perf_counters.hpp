@@ -47,6 +47,10 @@ struct PerfCounters {
   std::array<OpCounter, kNumOps> ops{};
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
+  /// Stall time injected by FaultKind::Straggler, attributed here instead of
+  /// the stalled operator's wall time so per-op timings stay comparable
+  /// between faulty and fault-free runs.
+  std::uint64_t injectedStallMicros = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -59,6 +63,7 @@ struct PerfCounters {
     }
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
+    injectedStallMicros += other.injectedStallMicros;
   }
 
   [[nodiscard]] double totalSeconds() const {
@@ -71,7 +76,8 @@ struct PerfCounters {
   [[nodiscard]] std::string toJson() const {
     std::ostringstream os;
     os << "{\"cache_hits\":" << cacheHits
-       << ",\"cache_misses\":" << cacheMisses << ",\"ops\":{";
+       << ",\"cache_misses\":" << cacheMisses
+       << ",\"injected_stall_us\":" << injectedStallMicros << ",\"ops\":{";
     bool first = true;
     for (std::size_t i = 0; i < kNumOps; ++i) {
       const OpCounter& c = ops[i];
@@ -100,6 +106,9 @@ struct PerfCounters {
          << "   " << c.runs << '\n';
     }
     os << "cache: " << cacheHits << " hits / " << cacheMisses << " misses\n";
+    if (injectedStallMicros > 0) {
+      os << "injected stalls: " << injectedStallMicros << " us\n";
+    }
     return os.str();
   }
 };

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dpart {
+
+/// On-disk format version of the checkpoint framing. Bumped whenever the
+/// payload layout produced by region/snapshot or runtime/checkpoint changes
+/// incompatibly; readFramedFile rejects files from other versions as
+/// CheckpointCorruption (a restart then falls back to re-initialization
+/// rather than misinterpreting bytes).
+inline constexpr std::uint32_t kSerializeVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, as in zip/png) over a byte span.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Append-only little-endian binary stream. All multi-byte values are
+/// written byte-by-byte, so payloads are portable across hosts regardless
+/// of native endianness.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  /// Length-prefixed string (may contain embedded NULs).
+  void str(const std::string& s);
+
+  void bytes(const void* data, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> payload() const { return buf_; }
+
+  /// Consumes the writer.
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over a serialized payload. Every read past the end
+/// of the buffer throws CheckpointCorruption ("truncated"), so a clipped
+/// checkpoint file fails loudly instead of yielding garbage values.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - pos_;
+  }
+
+  /// Throws CheckpointCorruption when trailing bytes remain — a payload
+  /// that parsed "successfully" but was longer than the schema expects is
+  /// as suspect as a truncated one.
+  void expectEnd() const;
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
+/// first and are renamed over `path`, so readers never observe a
+/// half-written file (rename within one directory is atomic on POSIX).
+void writeFileAtomic(const std::string& path,
+                     std::span<const std::uint8_t> contents);
+
+/// Frames a payload for durable storage: magic, kSerializeVersion, payload
+/// size, CRC-32 of the payload, then the payload itself — written via
+/// writeFileAtomic. `tamper`, when set, is applied to a copy of the payload
+/// AFTER the checksum is computed (and before the bytes hit disk): this is
+/// the hook FaultKind::CorruptCheckpoint uses to model silent media
+/// corruption that the checksum must catch on read.
+void writeFramedFile(
+    const std::string& path, std::span<const std::uint8_t> payload,
+    const std::function<void(std::vector<std::uint8_t>&)>& tamper = {});
+
+/// Reads a framed file back, validating magic, version, length and CRC-32.
+/// Any mismatch — unreadable file, truncation, bad magic/version, checksum
+/// failure — throws CheckpointCorruption naming the file and the defect.
+[[nodiscard]] std::vector<std::uint8_t> readFramedFile(
+    const std::string& path);
+
+}  // namespace dpart

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <set>
@@ -195,11 +196,15 @@ void runDifferential(std::uint64_t seed, const ir::Program& prog,
   slow.stragglerMicros = 50;
   inj.arm("task:" + poisonLoop + ":1", slow);
 
+  std::atomic<std::uint64_t> slept{0};
   runtime::ExecOptions opts;
   opts.faultInjector = &inj;
   opts.resilient = true;
   opts.maxTaskRetries = 5;
   opts.retryBackoffMicros = 1;
+  opts.sleepMicros = [&slept](std::uint64_t us) {
+    slept.fetch_add(us, std::memory_order_relaxed);
+  };
   opts.verifyPartitions = true;
   opts.validateAccesses = true;
   runtime::PlanExecutor exec(faulty, plan, pieces, opts);
@@ -208,6 +213,12 @@ void runDifferential(std::uint64_t seed, const ir::Program& prog,
   EXPECT_GT(inj.totalFires(), 0u);
   EXPECT_GE(exec.taskReplays(), 1u);  // the pinned poison site at least
   EXPECT_NO_THROW(exec.verifyPartitions());  // legality after all replays
+
+  // Injected stalls are accounted separately from real work and every
+  // stall/backoff went through the hook, so the test never truly sleeps.
+  const std::uint64_t stalls = exec.injectedStallMicros();
+  EXPECT_EQ(stalls, 50 * inj.firesAt("task:" + poisonLoop + ":1"));
+  EXPECT_GE(slept.load(), stalls + exec.taskReplays());
 
   expectBitwiseEqual(clean, faulty, "R", "val");
   expectBitwiseEqual(clean, faulty, "R", "tmp");
@@ -275,17 +286,22 @@ TEST_P(CrashRecovery, BitwiseIdenticalAcrossUnifiedLoops) {
   poison.maxFires = 1;
   inj.arm("task:centered:0", poison);
 
+  std::atomic<std::uint64_t> slept{0};
   runtime::ExecOptions opts;
   opts.faultInjector = &inj;
   opts.resilient = true;
   opts.maxTaskRetries = 5;
   opts.retryBackoffMicros = 1;
+  opts.sleepMicros = [&slept](std::uint64_t us) {
+    slept.fetch_add(us, std::memory_order_relaxed);
+  };
   opts.verifyPartitions = true;
   opts.validateAccesses = true;
   runtime::PlanExecutor exec(faulty, plan, pieces, opts);
   for (int s = 0; s < kSteps; ++s) exec.run();
 
   EXPECT_GE(exec.taskReplays(), 1u);
+  EXPECT_GE(slept.load(), exec.taskReplays());  // backoff used the hook
   EXPECT_NO_THROW(exec.verifyPartitions());
   expectBitwiseEqual(clean, faulty, "R", "val");
   expectBitwiseEqual(clean, faulty, "R", "tmp");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/spmv.hpp"
 #include "apps/stencil.hpp"
 
@@ -126,6 +128,68 @@ TEST(ClusterSimResilience, MtbfChargesSnapshotAndReplayOverhead) {
   EXPECT_GT(stepWorse.resilientSeconds, step.resilientSeconds);
   EXPECT_GT(stepWorse.expectedFailures, step.expectedFailures);
   EXPECT_DOUBLE_EQ(stepWorse.seconds, step.seconds);  // fault-free unchanged
+}
+
+TEST(CheckpointCost, ZeroMtbfMeansZeroWaste) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  ClusterSim sim(app.world(), MachineConfig{});  // nodeMtbfSeconds = 0
+  CheckpointCost cc = sim.checkpointCost(4, 2.0);
+  EXPECT_EQ(cc.wasteFraction, 0.0);
+  EXPECT_DOUBLE_EQ(cc.checkpointedSeconds, 2.0);
+}
+
+TEST(CheckpointCost, YoungDalyIntervalAndWaste) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 64;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+
+  MachineConfig faulty;
+  faulty.nodeMtbfSeconds = 86400;
+  ClusterSim sim(app.world(), faulty);
+  const int nodes = 4;
+  CheckpointCost cc = sim.checkpointCost(nodes, 2.0);
+
+  EXPECT_GT(cc.stateBytesPerNode, 0.0);
+  EXPECT_GT(cc.checkpointSeconds, 0.0);
+  // tau = sqrt(2 * delta * M) with M the whole-system MTBF.
+  const double mtbf = faulty.nodeMtbfSeconds / nodes;
+  EXPECT_DOUBLE_EQ(cc.systemMtbfSeconds, mtbf);
+  EXPECT_DOUBLE_EQ(cc.intervalSeconds,
+                   std::sqrt(2.0 * cc.checkpointSeconds * mtbf));
+  EXPECT_GT(cc.wasteFraction, 0.0);
+  EXPECT_DOUBLE_EQ(cc.checkpointedSeconds, 2.0 * (1.0 + cc.wasteFraction));
+
+  // Less reliable machine -> shorter optimal interval, more waste.
+  MachineConfig worse = faulty;
+  worse.nodeMtbfSeconds = 8640;
+  ClusterSim simWorse(app.world(), worse);
+  CheckpointCost worseCc = simWorse.checkpointCost(nodes, 2.0);
+  EXPECT_LT(worseCc.intervalSeconds, cc.intervalSeconds);
+  EXPECT_GT(worseCc.wasteFraction, cc.wasteFraction);
+}
+
+TEST(CheckpointCost, SpmvScaleOverheadStaysUnderFifteenPercent) {
+  // The fig14a acceptance bound: Young/Daly checkpointing of the SpMV
+  // working set at 256 nodes with one failure per node-day costs < 15%.
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 16384;
+  p.nnzPerRow = 5;
+  p.pieces = 256;
+  apps::SpmvApp app(p);
+  apps::SimSetup setup = app.autoSetup();
+
+  MachineConfig faulty;
+  faulty.nodeMtbfSeconds = 86400;
+  ClusterSim sim(app.world(), faulty);
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  const double step = sim.simulateStep(setup.plan, setup.partitions);
+  CheckpointCost cc = sim.checkpointCost(256, step);
+  EXPECT_GT(cc.wasteFraction, 0.0);
+  EXPECT_LT(cc.wasteFraction, 0.15);
 }
 
 }  // namespace
