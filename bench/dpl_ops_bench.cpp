@@ -16,6 +16,7 @@
 
 #include "dpl/evaluator.hpp"
 #include "region/dpl_ops.hpp"
+#include "support/perf_counters.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -181,14 +182,34 @@ void benchMemoization(Index n, std::size_t pieces, std::size_t threads) {
   for (const auto& [name, part] : cold.env()) {
     identical = identical && part == warm.partition(name);
   }
+
+  // The counters JSON has a fixed schema: every declared operator plus the
+  // cache and injected-stall tallies must appear even at zero, so the perf
+  // trajectory scrapers never see a moving column set.
+  const std::string countersJson = warm.counters().toJson();
+  auto require = [&](const std::string& key) {
+    if (countersJson.find('"' + key + '"') == std::string::npos) {
+      std::cerr << "SCHEMA: counters JSON is missing \"" << key
+                << "\": " << countersJson << '\n';
+      std::exit(1);
+    }
+  };
+  for (std::size_t i = 0; i < dpart::PerfCounters::kNumOps; ++i) {
+    require(dpart::PerfCounters::opName(i));
+  }
+  require("cache_hits");
+  require("cache_misses");
+  require("injected_stall_us");
+
   std::cout << "{\"bench\":\"dpl_memo\",\"n\":" << n
             << ",\"pieces\":" << pieces << ",\"threads\":" << threads
             << ",\"serial_nomemo_ms\":" << coldMs
             << ",\"parallel_memo_ms\":" << warmMs
             << ",\"cache_hits\":" << warm.counters().cacheHits
             << ",\"cache_misses\":" << warm.counters().cacheMisses
+            << ",\"injected_stall_us\":" << warm.counters().injectedStallMicros
             << ",\"identical\":" << (identical ? "true" : "false")
-            << ",\"counters\":" << warm.counters().toJson() << "}\n";
+            << ",\"counters\":" << countersJson << "}\n";
 }
 
 }  // namespace

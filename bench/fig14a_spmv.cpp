@@ -2,13 +2,79 @@
 // 99% parallel efficiency on 256 nodes with a balanced diagonal matrix of
 // 0.4e9 non-zeros per node; we scale the per-node size down (see
 // EXPERIMENTS.md) and reproduce the flat throughput-per-node curve.
+//
+// With `--trace <out.json>` the bench instead performs one real (non-
+// simulated) small-scale Session run of the SpMV program with tracing on,
+// an injected task crash (so the timeline shows a task replay) and
+// end-of-launch checkpoints, and writes a Chrome trace_event JSON. Open it
+// in chrome://tracing or https://ui.perfetto.dev; see EXPERIMENTS.md.
 
 #include "scaling_common.hpp"
 
-#include "apps/spmv.hpp"
+#include <cstring>
+#include <filesystem>
 
-int main() {
+#include "apps/spmv.hpp"
+#include "runtime/session.hpp"
+#include "support/fault.hpp"
+
+namespace {
+
+int runTraced(const char* traceFile) {
   using namespace dpart;
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 2048;
+  p.nnzPerRow = 5;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+
+  // One deterministic crash at a pinned task site: the trace then contains
+  // the failed task span, a task.replay instant and the retry span.
+  FaultInjector injector(42);
+  FaultSpec crash;
+  crash.kind = FaultKind::Crash;
+  crash.afterArrivals = 1;
+  crash.maxFires = 1;
+  injector.arm("task:spmv:2", crash);
+
+  const std::filesystem::path ckptDir =
+      std::filesystem::temp_directory_path() / "fig14a_trace_ckpt";
+  std::filesystem::remove_all(ckptDir);
+
+  runtime::ExecOptions opts;
+  opts.resilience.taskReplay = true;
+  opts.resilience.maxTaskRetries = 3;
+  opts.resilience.faultInjector = &injector;
+  opts.checkpoint.dir = ckptDir.string();
+  opts.checkpoint.everyNLaunches = 1;
+  opts.observability.traceFile = traceFile;
+
+  Session session = Session::parallelize(app.program())
+                        .pieces(p.pieces)
+                        .options(opts)
+                        .run(app.world());
+  session.run();  // a second launch, for a multi-launch timeline
+  runtime::PlanExecutor& exec = session.executor();
+
+  std::cout << "trace written to " << traceFile
+            << " (launches: " << exec.launchesDone()
+            << ", replays: " << exec.taskReplays() << ", checkpoints: "
+            << exec.checkpointManager()->generations() << ")\n";
+  std::filesystem::remove_all(ckptDir);
+  if (exec.taskReplays() < 1 || exec.checkpointManager()->generations() < 1) {
+    std::cout << "FAIL: expected at least one replay and one checkpoint\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dpart;
+  if (argc == 3 && std::strcmp(argv[1], "--trace") == 0) {
+    return runTraced(argv[2]);
+  }
   sim::MachineConfig cfg;
 
   struct Holder {

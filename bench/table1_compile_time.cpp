@@ -52,6 +52,7 @@ void benchCompile(benchmark::State& state, const std::string& name,
     benchmark::DoNotOptimize(plan);
   }
   state.counters["infer_ms"] = last.inferMs;
+  state.counters["unify_ms"] = last.unifyMs;
   state.counters["solve_ms"] = last.solveMs;
   state.counters["rewrite_ms"] = last.rewriteMs;
   state.counters["loops"] = last.parallelLoops;
@@ -113,8 +114,9 @@ BENCHMARK(BM_Pennant)->Unit(benchmark::kMillisecond);
 void printTable() {
   std::cout << "\n== Table 1: compilation time breakdown (this repro) ==\n";
   std::cout << std::left << std::setw(12) << "app" << std::setw(14)
-            << "inference" << std::setw(14) << "solver" << std::setw(14)
-            << "rewrite" << std::setw(8) << "loops" << '\n';
+            << "inference" << std::setw(14) << "unify" << std::setw(14)
+            << "solver" << std::setw(14) << "rewrite" << std::setw(8)
+            << "loops" << '\n';
   // Keep only the last measurement per app (benchmark reruns accumulate).
   std::map<std::string, Row> dedup;
   for (const Row& r : rows()) dedup[r.name] = r;
@@ -125,6 +127,7 @@ void printTable() {
     const CompileStats& s = it->second.stats;
     std::cout << std::setw(12) << name << std::setw(14)
               << (std::to_string(s.inferMs) + "ms") << std::setw(14)
+              << (std::to_string(s.unifyMs) + "ms") << std::setw(14)
               << (std::to_string(s.solveMs) + "ms") << std::setw(14)
               << (std::to_string(s.rewriteMs) + "ms") << std::setw(8)
               << s.parallelLoops << '\n';

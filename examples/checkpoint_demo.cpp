@@ -17,9 +17,8 @@
 #include <iostream>
 #include <string>
 
-#include "parallelize/parallelize.hpp"
 #include "runtime/checkpoint.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 
 namespace {
 
@@ -59,10 +58,9 @@ dpart::ir::Program makeProgram() {
 
 /// Clean reference: the full kSteps at `pieces` pieces, no checkpointing.
 void runClean(World& w, std::size_t pieces) {
-  dpart::parallelize::AutoParallelizer ap(w);
-  dpart::parallelize::ParallelPlan plan = ap.plan(makeProgram());
-  dpart::runtime::PlanExecutor exec(w, plan, pieces);
-  for (int s = 0; s < kSteps; ++s) exec.run();
+  dpart::Session session =
+      dpart::Session::parallelize(makeProgram()).pieces(pieces).build(w);
+  for (int s = 0; s < kSteps; ++s) session.run();
 }
 
 bool bitwiseEqual(World& a, World& b, const std::string& region,
@@ -82,15 +80,17 @@ bool bitwiseEqual(World& a, World& b, const std::string& region,
 int runMode(const std::string& dir) {
   World w;
   buildWorld(w);
-  dpart::parallelize::AutoParallelizer ap(w);
-  dpart::parallelize::ParallelPlan plan = ap.plan(makeProgram());
 
   dpart::runtime::ExecOptions opts;
-  opts.checkpointDir = dir;
-  opts.checkpointEveryNLaunches = 1;
-  dpart::runtime::PlanExecutor exec(w, plan, kPieces, opts);
-  for (int s = 0; s < kSteps; ++s) exec.run();
+  opts.checkpoint.dir = dir;
+  opts.checkpoint.everyNLaunches = 1;
+  dpart::Session session = dpart::Session::parallelize(makeProgram())
+                               .pieces(kPieces)
+                               .options(opts)
+                               .build(w);
+  for (int s = 0; s < kSteps; ++s) session.run();
 
+  dpart::runtime::PlanExecutor& exec = session.executor();
   std::cout << "ran " << exec.launchesDone() << " launches, "
             << exec.checkpointManager()->generations()
             << " checkpoint generations in " << dir << " (latest "
@@ -109,9 +109,11 @@ int restartMode(const std::string& dir) {
             << restored.meta.pieces
             << " pieces (fallbacks: " << restored.fallbacks << ")\n";
 
-  dpart::parallelize::AutoParallelizer ap(w);
-  dpart::parallelize::ParallelPlan plan = ap.plan(makeProgram());
-  dpart::runtime::PlanExecutor exec(w, plan, restored.meta.pieces);
+  dpart::Session session = dpart::Session::parallelize(makeProgram())
+                               .pieces(restored.meta.pieces)
+                               .build(w);
+  const dpart::parallelize::ParallelPlan& plan = session.plan();
+  dpart::runtime::PlanExecutor& exec = session.executor();
   exec.preparePartitions();
   const std::uint64_t total =
       std::uint64_t(kSteps) * plan.loops.size();

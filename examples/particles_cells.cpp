@@ -11,8 +11,7 @@
 
 #include <iostream>
 
-#include "parallelize/parallelize.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 
 using namespace dpart;
 
@@ -95,22 +94,21 @@ int main() {
     prog.loops.push_back(b.build());
   }
 
-  parallelize::AutoParallelizer ap(world);
-  ap.addExternalConstraint(ext);
-  parallelize::ParallelPlan plan = ap.plan(prog);
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;
+  Session session = Session::parallelize(prog)
+                        .pieces(kPieces)
+                        .options(opts)
+                        .externalConstraint(ext)
+                        .external("pCells", pCells)
+                        .external("pParticles", pParticles)
+                        .run(world);
 
   std::cout << "DPL synthesized with the user invariant (note: only the\n"
                "h-image partition is constructed; everything else reuses\n"
                "the manual partitions):\n"
-            << plan.dpl.toString() << '\n';
-
-  runtime::ExecOptions opts;
-  opts.validateAccesses = true;
-  runtime::PlanExecutor exec(world, plan, kPieces, opts);
-  exec.bindExternal("pCells", pCells);
-  exec.bindExternal("pParticles", pParticles);
-  exec.run();
-  std::cout << "executed " << plan.loops.size() << " loops on " << kPieces
-            << " pieces using the manual partitions.\n";
+            << session.plan().dpl.toString() << '\n';
+  std::cout << "executed " << session.plan().loops.size() << " loops on "
+            << kPieces << " pieces using the manual partitions.\n";
   return 0;
 }

@@ -2,16 +2,22 @@
 //
 //   1. Declare regions, fields and index functions (a World).
 //   2. Write the loops in the loop IR.
-//   3. AutoParallelizer: infer constraints -> unify -> solve -> plan.
-//   4. Execute the plan on the task runtime and check it against serial.
+//   3. Session::parallelize(...): infer constraints -> unify -> solve ->
+//      plan -> execute, in one fluent call.
+//   4. Check the parallel execution against serial.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--trace out.json]
+//                                           [--metrics out.json]
+//
+// With --trace, the run writes a Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) showing the compile phases,
+// the executor launches and every DPL operator kernel.
 
+#include <cstring>
 #include <iostream>
 
 #include "ir/interp.hpp"
-#include "parallelize/parallelize.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 
 using namespace dpart;
 
@@ -77,28 +83,43 @@ ir::Program figure1Program() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   region::World world;
   buildWorld(world);
   ir::Program prog = figure1Program();
 
-  // The compiler pass: Algorithm 1 + Algorithm 3 + Algorithm 2.
-  parallelize::AutoParallelizer ap(world);
-  parallelize::ParallelPlan plan = ap.plan(prog);
+  runtime::ExecOptions opts;
+  opts.validateAccesses = true;  // check partition legality on every access
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      opts.observability.traceFile = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opts.observability.metricsFile = argv[i + 1];
+    }
+  }
+
+  // The whole pipeline behind one facade: Algorithm 1 + Algorithm 3 +
+  // Algorithm 2, then execution on 8 pieces.
+  Session session = Session::parallelize(prog)
+                        .pieces(8)
+                        .options(opts)
+                        .run(world);
 
   std::cout << "Synthesized DPL program (paper Fig. 2, program B):\n"
-            << plan.dpl.toString() << '\n';
-  std::cout << plan.toString() << '\n';
+            << session.plan().dpl.toString() << '\n';
+  std::cout << session.plan().toString() << '\n';
+  if (!opts.observability.traceFile.empty()) {
+    std::cout << "trace written to " << opts.observability.traceFile << '\n';
+  }
+  if (!opts.observability.metricsFile.empty()) {
+    std::cout << "metrics written to " << opts.observability.metricsFile
+              << '\n';
+  }
 
-  // Execute on 8 pieces and compare against the serial reference.
+  // Compare against the serial reference.
   region::World reference;
   buildWorld(reference);
   ir::runSerial(reference, prog);
-
-  runtime::ExecOptions opts;
-  opts.validateAccesses = true;  // check partition legality on every access
-  runtime::PlanExecutor exec(world, plan, /*pieces=*/8, opts);
-  exec.run();
 
   auto got = world.region("Particles").f64("pos");
   auto want = reference.region("Particles").f64("pos");

@@ -10,8 +10,7 @@
 #include <iostream>
 
 #include "ir/interp.hpp"
-#include "parallelize/parallelize.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/session.hpp"
 
 using namespace dpart;
 
@@ -54,16 +53,18 @@ int main() {
     buildWorld(world);
     parallelize::Options opts;
     opts.enableRelaxation = relax;
-    parallelize::AutoParallelizer ap(world, opts);
-    parallelize::ParallelPlan plan = ap.plan(prog);
+    runtime::ExecOptions eopts;
+    eopts.validateAccesses = true;
+    Session session = Session::parallelize(prog)
+                          .pieces(pieces)
+                          .compileOptions(opts)
+                          .options(eopts)
+                          .run(world);
+    const parallelize::ParallelPlan& plan = session.plan();
 
     std::cout << "=== relaxation " << (relax ? "ON" : "OFF") << " ===\n";
     std::cout << plan.dpl.toString();
-    runtime::ExecOptions eopts;
-    eopts.validateAccesses = true;
-    runtime::PlanExecutor exec(world, plan, pieces, eopts);
-    exec.run();
-    exec.preparePartitions();
+    runtime::PlanExecutor& exec = session.executor();
     const auto& iter = exec.partition(plan.loops[0].iterPartition);
     std::cout << "loop relaxed:        " << plan.loops[0].relaxed << '\n'
               << "iteration partition: disjoint=" << iter.isDisjoint()

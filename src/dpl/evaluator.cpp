@@ -114,6 +114,10 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++counters_.cacheHits;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->instant("dpl", "memo.hit",
+                         std::string("\"op\":\"") + opSite(expr->kind) + '"');
+      }
       return it->second;
     }
     ++counters_.cacheMisses;
@@ -163,6 +167,11 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
       }
     }
   }
+
+  // Inclusive operator span: operand evaluation recurses inside it, so the
+  // exported trace shows the expression tree as nested spans.
+  DPART_TRACE_SPAN_NAMED(opSpan, tracer_, "dpl",
+                         std::string(opSite(expr->kind)));
 
   Partition result;
   switch (expr->kind) {
@@ -222,6 +231,13 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
   }
 
   if (poison) result = poisonPartition(result, poisonMagnitude);
+
+  if (opSpan.active()) {
+    opSpan.annotate(
+        "\"result_elements\":" + std::to_string(result.totalElements()) +
+        ",\"runs\":" + std::to_string(runsProduced(result)) +
+        (memoize_ ? ",\"memo\":\"miss\"" : ""));
+  }
 
   if (memoize_) cache_.emplace(std::move(key), result);
   return result;

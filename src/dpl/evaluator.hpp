@@ -14,6 +14,7 @@
 #include "support/fault.hpp"
 #include "support/perf_counters.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dpart::dpl {
 
@@ -114,6 +115,12 @@ class Evaluator {
     sleepHook_ = std::move(hook);
   }
 
+  /// Records one "dpl"-category span per operator kernel (annotated with
+  /// result element/run counts) and a "memo.hit" instant per cache hit into
+  /// `tracer`. nullptr (the default) disables tracing.
+  void setTracer(Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+
  private:
   /// Evaluates expr, consulting/populating the memo cache at every
   /// non-symbol node.
@@ -133,6 +140,7 @@ class Evaluator {
   std::unique_ptr<ThreadPool> ownedPool_;
   ThreadPool* pool_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  Tracer* tracer_ = nullptr;
   std::function<void(std::uint64_t)> sleepHook_;
 };
 

@@ -13,6 +13,7 @@
 #include "ir/ir.hpp"
 #include "optimize/reduction_opt.hpp"
 #include "region/world.hpp"
+#include "support/trace.hpp"
 
 namespace dpart::parallelize {
 
@@ -34,9 +35,13 @@ struct Options {
 };
 
 /// Timing breakdown of one auto-parallelization run (paper Table 1 rows).
+/// The same breakdown is recorded as "compile"-category trace spans
+/// (phase.infer / phase.relax / phase.unify / phase.solve /
+/// phase.synthesize) when a tracer is installed.
 struct CompileStats {
   double inferMs = 0;
-  double solveMs = 0;   // unification + resolution
+  double unifyMs = 0;   // Algorithm 3 symbol unification
+  double solveMs = 0;   // relaxation analysis + constraint resolution
   double rewriteMs = 0; // plan construction (the "code rewrite" stage)
   int parallelLoops = 0;
 };
@@ -88,9 +93,14 @@ class AutoParallelizer {
   /// Runs the full pipeline on a program of parallelizable loops.
   [[nodiscard]] ParallelPlan plan(const ir::Program& program);
 
+  /// Records one "compile"-category span per pipeline phase into `tracer`
+  /// (the trace-side view of CompileStats). nullptr disables.
+  void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   const region::World& world_;
   Options options_;
+  Tracer* tracer_ = nullptr;
   std::vector<constraint::System> externals_;
 
   [[nodiscard]] std::set<std::string> rangeFnIds() const;

@@ -26,17 +26,42 @@ PlanExecutor::PlanExecutor(region::World& world,
       pool_(options.threads),
       evaluator_(world, pieces, pool_) {
   DPART_CHECK(pieces_ > 0, "need at least one piece");
-  evaluator_.setFaultInjector(options_.faultInjector);
-  evaluator_.setSleepHook(options_.sleepMicros);
+  evaluator_.setFaultInjector(options_.resilience.faultInjector);
+  evaluator_.setSleepHook(options_.resilience.sleepMicros);
+  evaluator_.setTracer(options_.observability.tracer);
   liveNodes_.resize(pieces_);
   for (std::size_t j = 0; j < pieces_; ++j) liveNodes_[j] = j;
-  if (!options_.checkpointDir.empty()) {
-    DPART_CHECK(options_.checkpointEveryNLaunches >= 1,
-                "checkpointEveryNLaunches must be at least 1");
+  if (!options_.checkpoint.dir.empty()) {
+    DPART_CHECK(options_.checkpoint.everyNLaunches >= 1,
+                "CheckpointOptions::everyNLaunches must be at least 1");
     checkpoints_ = std::make_unique<CheckpointManager>(
-        options_.checkpointDir, options_.checkpointRetain);
+        options_.checkpoint.dir, options_.checkpoint.retain);
     planHash_ = CheckpointManager::hashPlan(plan_);
   }
+}
+
+void PlanExecutor::countError(const char* kind) const {
+  if (options_.observability.metrics != nullptr) {
+    options_.observability.metrics->counter("errorsTotal", {{"kind", kind}})
+        .inc();
+  }
+}
+
+void PlanExecutor::publishMetrics() const {
+  MetricsRegistry* mx = options_.observability.metrics;
+  if (mx == nullptr) return;
+  mx->gauge("executor.taskReplays").set(static_cast<double>(replays_.load()));
+  mx->gauge("executor.checkpointRestores")
+      .set(static_cast<double>(checkpointRestores_));
+  mx->gauge("executor.elasticShrinks")
+      .set(static_cast<double>(elasticShrinks_));
+  mx->gauge("executor.launchesDone").set(static_cast<double>(launchesDone_));
+  mx->gauge("executor.bufferedElements")
+      .set(static_cast<double>(bufferedElements_));
+  mx->gauge("executor.pieces").set(static_cast<double>(pieces_));
+  mx->gauge("executor.injectedStallMicros")
+      .set(static_cast<double>(injectedStallMicros()));
+  evaluator_.counters().exportTo(*mx);
 }
 
 void PlanExecutor::bindExternal(const std::string& name,
@@ -48,8 +73,8 @@ void PlanExecutor::bindExternal(const std::string& name,
 
 void PlanExecutor::sleepFor(std::uint64_t micros) const {
   if (micros == 0) return;
-  if (options_.sleepMicros) {
-    options_.sleepMicros(micros);
+  if (options_.resilience.sleepMicros) {
+    options_.resilience.sleepMicros(micros);
   } else {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
@@ -57,17 +82,24 @@ void PlanExecutor::sleepFor(std::uint64_t micros) const {
 
 void PlanExecutor::preparePartitions() {
   if (prepared_) return;
+  DPART_TRACE_SPAN(tracer(), "executor", "preparePartitions");
   for (const std::string& ext : plan_.externalSymbols) {
     DPART_CHECK(evaluator_.has(ext),
                 "external partition '" + ext + "' was not bound");
   }
-  evaluator_.run(plan_.dpl);
+  try {
+    evaluator_.run(plan_.dpl);
+  } catch (const EvalFailure&) {
+    countError("EvalFailure");
+    throw;
+  }
   prepared_ = true;
   if (options_.verifyPartitions) verifyPartitions();
 }
 
 void PlanExecutor::verifyPartitions() const {
   DPART_CHECK(prepared_, "partitions not prepared");
+  DPART_TRACE_SPAN(tracer(), "executor", "verifyPartitions");
   region::verifyPartitionsOrThrow(world_, evaluator_.env(),
                                   planExpectations(plan_, pieces_));
 }
@@ -429,9 +461,12 @@ std::vector<region::PartitionExpectation> planExpectations(
 void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   preparePartitions();
 
-  if (options_.faultInjector != nullptr) {
+  DPART_TRACE_SPAN_NAMED(launchSpan, tracer(), "executor",
+                         "launch:" + loop.loop->name);
+
+  if (options_.resilience.faultInjector != nullptr) {
     const std::string site = "loop:" + loop.loop->name;
-    if (auto fault = options_.faultInjector->fire(site)) {
+    if (auto fault = options_.resilience.faultInjector->fire(site)) {
       if (fault->kind == FaultKind::Straggler) {
         stallMicros_.fetch_add(fault->stragglerMicros,
                                std::memory_order_relaxed);
@@ -442,6 +477,7 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
         ErrorContext ctx;
         ctx.site = site;
         ctx.loop = loop.loop->name;
+        countError("TaskFailure");
         throw TaskFailure("injected fault: loop launch failed",
                           std::move(ctx));
       }
@@ -480,7 +516,7 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
     }
   } replayMerge{loopReplays, replays_};
 
-  pool_.parallelFor(pieces_, [&](std::size_t j) {
+  auto runTask = [&](std::size_t j) {
     const IndexSet* own = needOwnership ? &ownership[j] : nullptr;
     const IndexSet& iters = iter.sub(j);
     const std::string site =
@@ -490,15 +526,20 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
     // "node:2" still names the same machine after an elastic shrink.
     const std::size_t nodeId = liveNodes_[j];
     const std::string nodeSite = "node:" + std::to_string(nodeId);
-    FaultInjector* injector = options_.faultInjector;
+    FaultInjector* injector = options_.resilience.faultInjector;
 
-    // The footprint sets are needed to snapshot (resilient mode) and as the
+    DPART_TRACE_SPAN_NAMED(taskSpan, tracer(), "executor",
+                           "task:" + loop.loop->name);
+    taskSpan.annotate("\"piece\":" + std::to_string(j) +
+                      ",\"node\":" + std::to_string(nodeId));
+
+    // The footprint sets are needed to snapshot (taskReplay mode) and as the
     // target of Poison faults; skip building them entirely otherwise.
     TaskFootprint footprint;
-    if (options_.resilient || injector != nullptr) {
+    if (options_.resilience.taskReplay || injector != nullptr) {
       footprint = buildFootprint(world_, loop, j, env, own);
     }
-    if (options_.resilient) footprint.capture();
+    if (options_.resilience.taskReplay) footprint.capture();
 
     for (int attempt = 0;; ++attempt) {
       hooks[j] = std::make_unique<TaskHooks>(loop, j, env,
@@ -561,11 +602,12 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
         runner.run(iters, hooks[j].get());
         break;
       } catch (const TaskFailure& failure) {
+        countError("TaskFailure");
         // Only task deaths are replayable; partition violations and
         // evaluation failures propagate immediately.
-        if (!options_.resilient) throw;
+        if (!options_.resilience.taskReplay) throw;
         footprint.restore();
-        if (attempt >= options_.maxTaskRetries) {
+        if (attempt >= options_.resilience.maxTaskRetries) {
           ErrorContext ctx = failure.context();
           ctx.attempt = attempt;
           throw TaskFailure(
@@ -575,12 +617,29 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
               std::move(ctx));
         }
         loopReplays.fetch_add(1, std::memory_order_relaxed);
-        if (options_.retryBackoffMicros > 0) {
-          sleepFor(options_.retryBackoffMicros << attempt);
+        if (Tracer* tr = tracer(); tr != nullptr && tr->enabled()) {
+          tr->instant("executor", "task.replay",
+                      "\"site\":\"" + jsonEscape(site) +
+                          "\",\"fault_site\":\"" +
+                          jsonEscape(failure.context().site) +
+                          "\",\"node\":" + std::to_string(nodeId) +
+                          ",\"attempt\":" + std::to_string(attempt));
+        }
+        if (options_.resilience.retryBackoffMicros > 0) {
+          sleepFor(options_.resilience.retryBackoffMicros << attempt);
         }
       }
     }
-  });
+  };
+  try {
+    pool_.parallelFor(pieces_, runTask);
+  } catch (const NodeLossError&) {
+    countError("NodeLossError");
+    throw;
+  } catch (const PartitionViolation&) {
+    countError("PartitionViolation");
+    throw;
+  }
 
   // Merge reduction buffers in task order (deterministic).
   for (std::size_t j = 0; j < pieces_; ++j) {
@@ -609,21 +668,35 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   if (options_.verifyPartitions && loopReplays.load() > 0) {
     verifyPartitions();
   }
+  launchSpan.annotate("\"pieces\":" + std::to_string(pieces_) +
+                      ",\"replays\":" + std::to_string(loopReplays.load()) +
+                      ",\"buffered_elements\":" +
+                      std::to_string(bufferedElements_));
 }
 
 void PlanExecutor::checkpoint() {
+  DPART_TRACE_SPAN_NAMED(span, tracer(), "executor", "checkpoint");
+  span.annotate("\"launch\":" + std::to_string(launchesDone_) +
+                ",\"pieces\":" + std::to_string(pieces_));
   checkpoints_->write(world_, externals_, launchesDone_, planHash_, pieces_,
-                      options_.faultInjector);
+                      options_.resilience.faultInjector);
 }
 
 void PlanExecutor::restoreFromCheckpoint(std::optional<std::size_t> lostNode) {
+  DPART_TRACE_SPAN_NAMED(span, tracer(), "executor", "restore");
   if (lostNode.has_value()) {
     auto it = std::find(liveNodes_.begin(), liveNodes_.end(), *lostNode);
     if (it != liveNodes_.end()) liveNodes_.erase(it);
     DPART_CHECK(!liveNodes_.empty(), "no surviving nodes to restore onto");
   }
-  CheckpointManager::Restored restored =
-      checkpoints_->restoreLatest(world_, planHash_);
+  CheckpointManager::Restored restored = [&] {
+    try {
+      return checkpoints_->restoreLatest(world_, planHash_);
+    } catch (const CheckpointCorruption&) {
+      countError("CheckpointCorruption");
+      throw;
+    }
+  }();
   ++checkpointRestores_;
   if (liveNodes_.size() != pieces_) {
     // Elastic shrink: the constraint solution is machine-size-agnostic, so
@@ -631,21 +704,34 @@ void PlanExecutor::restoreFromCheckpoint(std::optional<std::size_t> lostNode) {
     // new solve, no hand migration of state.
     pieces_ = liveNodes_.size();
     ++elasticShrinks_;
+    if (Tracer* tr = tracer(); tr != nullptr && tr->enabled()) {
+      tr->instant("executor", "elastic.shrink",
+                  "\"lost_node\":" +
+                      std::to_string(lostNode.has_value()
+                                         ? static_cast<long long>(*lostNode)
+                                         : -1LL) +
+                      ",\"surviving_pieces\":" + std::to_string(pieces_));
+    }
   }
+  span.annotate("\"restores\":" + std::to_string(checkpointRestores_) +
+                ",\"pieces\":" + std::to_string(pieces_) +
+                (lostNode.has_value()
+                     ? ",\"lost_node\":" + std::to_string(*lostNode)
+                     : std::string{}));
   evaluator_.reset(pieces_);
   externals_.clear();
   for (auto& [name, part] : restored.externals) {
     Partition rebound;
     if (part.count() == pieces_) {
       rebound = std::move(part);
-    } else if (options_.externalRebind) {
-      rebound = options_.externalRebind(name, pieces_);
+    } else if (options_.checkpoint.externalRebind) {
+      rebound = options_.checkpoint.externalRebind(name, pieces_);
     } else {
       throw Error("external partition '" + name + "' was checkpointed with " +
                   std::to_string(part.count()) +
                   " piece(s) but the machine shrank to " +
                   std::to_string(pieces_) +
-                  "; set ExecOptions::externalRebind to rebuild it");
+                  "; set CheckpointOptions::externalRebind to rebuild it");
     }
     externals_.insert_or_assign(name, rebound);
     evaluator_.bind(name, std::move(rebound));
@@ -661,8 +747,12 @@ void PlanExecutor::restoreFromCheckpoint(std::optional<std::size_t> lostNode) {
 }
 
 void PlanExecutor::run() {
+  DPART_TRACE_SPAN(tracer(), "executor", "run");
   preparePartitions();
-  if (plan_.loops.empty()) return;
+  if (plan_.loops.empty()) {
+    publishMetrics();
+    return;
+  }
   if (checkpoints_ != nullptr && checkpoints_->generations() == 0) {
     // Baseline generation: a fault in the very first launch must have
     // something to restore to.
@@ -677,7 +767,7 @@ void PlanExecutor::run() {
     const bool mayRestore =
         checkpoints_ != nullptr &&
         checkpointRestores_ <
-            static_cast<std::size_t>(options_.maxCheckpointRestores);
+            static_cast<std::size_t>(options_.checkpoint.maxRestores);
     try {
       runLoop(plan_.loops[launchesDone_ % nLoops]);
     } catch (const NodeLossError& loss) {
@@ -702,11 +792,12 @@ void PlanExecutor::run() {
     ++launchesDone_;
     if (checkpoints_ != nullptr &&
         launchesDone_ % static_cast<std::uint64_t>(
-                            options_.checkpointEveryNLaunches) ==
+                            options_.checkpoint.everyNLaunches) ==
             0) {
       checkpoint();
     }
   }
+  publishMetrics();
 }
 
 }  // namespace dpart::runtime

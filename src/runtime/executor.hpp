@@ -16,9 +16,11 @@
 #include "region/verify.hpp"
 #include "region/world.hpp"
 #include "runtime/checkpoint.hpp"
-#include "runtime/thread_pool.hpp"
+#include "runtime/options.hpp"
 #include "support/fault.hpp"
 #include "support/perf_counters.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace dpart::runtime {
 
@@ -40,52 +42,6 @@ class NodeLossError : public Error {
  private:
   std::size_t node_;
   ErrorContext context_;
-};
-
-struct ExecOptions {
-  /// Worker threads; 0 = hardware concurrency.
-  std::size_t threads = 0;
-  /// Check every region access against the subregion its statement was
-  /// assigned — the dynamic partition-legality check used by the tests.
-  /// Violations throw PartitionViolation with loop/field/stmt/index context.
-  bool validateAccesses = false;
-  /// Fault injector consulted at the "loop:<name>", "task:<loop>:<piece>"
-  /// and "dpl:<op>" sites; nullptr disables injection.
-  FaultInjector* faultInjector = nullptr;
-  /// Enables task-level replay: each task's in-place write footprint (its
-  /// subregion plus in-place reduction targets; see DESIGN.md §7) is
-  /// snapshotted before the first attempt and restored before every retry,
-  /// so replay is idempotent under all four reduction strategies.
-  bool resilient = false;
-  /// Maximum replays per task per loop launch before the TaskFailure
-  /// propagates (resilient mode only).
-  int maxTaskRetries = 3;
-  /// Base of the exponential backoff between replays, microseconds
-  /// (attempt k sleeps base << k); 0 disables the backoff.
-  std::uint64_t retryBackoffMicros = 0;
-  /// Run the partition legality verifier (region/verify) after
-  /// preparePartitions() and after any loop launch that replayed a task.
-  bool verifyPartitions = false;
-  /// Replaces the real sleep behind straggler stalls and retry backoff, so
-  /// fault tests run without wall-clock delays. Must be thread-safe (tasks
-  /// sleep concurrently); empty keeps real sleeping.
-  std::function<void(std::uint64_t)> sleepMicros;
-  /// Directory for durable end-of-launch checkpoints (created if missing);
-  /// empty disables checkpointing, and with it restore/elastic-shrink
-  /// escalation.
-  std::string checkpointDir;
-  /// Take a checkpoint after every N completed loop launches. A baseline
-  /// checkpoint (launch 0) is always taken before the first launch.
-  int checkpointEveryNLaunches = 1;
-  /// Checkpoint generations kept on disk (older ones are deleted).
-  int checkpointRetain = 3;
-  /// Give up (propagate the fault) after this many checkpoint restores.
-  int maxCheckpointRestores = 16;
-  /// Rebuilds an externally bound partition for a new piece count after an
-  /// elastic shrink. Without it, a shrink with externals whose piece count
-  /// no longer matches fails the restore.
-  std::function<region::Partition(const std::string&, std::size_t)>
-      externalRebind;
 };
 
 /// Derives the legality properties a plan assumes of its evaluated
@@ -126,7 +82,7 @@ class PlanExecutor {
   void preparePartitions();
 
   /// Runs all planned loops once, in program order. With checkpointing
-  /// enabled (ExecOptions::checkpointDir), every completed launch advances a
+  /// enabled (CheckpointOptions::dir), every completed launch advances a
   /// global launch index, checkpoints are taken at the configured cadence,
   /// and a NodeLossError (or a task that exhausted its replays) triggers a
   /// restore from the latest valid checkpoint — shrinking to the surviving
@@ -142,7 +98,7 @@ class PlanExecutor {
   /// violations. Called automatically when options.verifyPartitions is on.
   void verifyPartitions() const;
 
-  /// Task replays performed so far (resilient mode).
+  /// Task replays performed so far (ResilienceOptions::taskReplay mode).
   [[nodiscard]] std::size_t taskReplays() const { return replays_.load(); }
 
   /// Checkpoint restores performed so far (checkpointing mode).
@@ -188,9 +144,21 @@ class PlanExecutor {
     return evaluator_.counters();
   }
 
+  /// Publishes the executor- and evaluator-level tallies into the
+  /// configured metrics registry (no-op without one). Called at the end of
+  /// every run(); exposed so Session / tests can force a flush.
+  void publishMetrics() const;
+
  private:
-  /// Sleeps via ExecOptions::sleepMicros when set, for real otherwise.
+  /// Sleeps via ResilienceOptions::sleepMicros when set, for real otherwise.
   void sleepFor(std::uint64_t micros) const;
+
+  [[nodiscard]] Tracer* tracer() const {
+    return options_.observability.tracer;
+  }
+
+  /// Bumps errorsTotal{kind=...} (no-op without a metrics registry).
+  void countError(const char* kind) const;
 
   /// Takes one checkpoint at the current launch index.
   void checkpoint();

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "region/partition.hpp"
+#include "support/fault.hpp"
+#include "support/observability.hpp"
+
+namespace dpart::runtime {
+
+/// Task-replay resilience knobs (DESIGN.md §7). Grouped so call sites read
+/// as `opts.resilience.taskReplay = true` and so Session can expose the
+/// group wholesale.
+struct ResilienceOptions {
+  /// Enables task-level replay: each task's in-place write footprint (its
+  /// subregion plus in-place reduction targets) is snapshotted before the
+  /// first attempt and restored before every retry, so replay is idempotent
+  /// under all four reduction strategies.
+  bool taskReplay = false;
+  /// Maximum replays per task per loop launch before the TaskFailure
+  /// propagates (taskReplay mode only).
+  int maxTaskRetries = 3;
+  /// Base of the exponential backoff between replays, microseconds
+  /// (attempt k sleeps base << k); 0 disables the backoff.
+  std::uint64_t retryBackoffMicros = 0;
+  /// Fault injector consulted at the "loop:<name>", "task:<loop>:<piece>",
+  /// "node:<id>" and "dpl:<op>" sites; nullptr disables injection.
+  FaultInjector* faultInjector = nullptr;
+  /// Replaces the real sleep behind straggler stalls and retry backoff, so
+  /// fault tests run without wall-clock delays. Must be thread-safe (tasks
+  /// sleep concurrently); empty keeps real sleeping.
+  std::function<void(std::uint64_t)> sleepMicros;
+};
+
+/// Durable checkpoint/restore knobs (DESIGN.md §8).
+struct CheckpointOptions {
+  /// Directory for durable end-of-launch checkpoints (created if missing);
+  /// empty disables checkpointing, and with it restore/elastic-shrink
+  /// escalation.
+  std::string dir;
+  /// Take a checkpoint after every N completed loop launches. A baseline
+  /// checkpoint (launch 0) is always taken before the first launch.
+  int everyNLaunches = 1;
+  /// Checkpoint generations kept on disk (older ones are deleted).
+  int retain = 3;
+  /// Give up (propagate the fault) after this many checkpoint restores.
+  int maxRestores = 16;
+  /// Rebuilds an externally bound partition for a new piece count after an
+  /// elastic shrink. Without it, a shrink with externals whose piece count
+  /// no longer matches fails the restore.
+  std::function<region::Partition(const std::string&, std::size_t)>
+      externalRebind;
+};
+
+/// Execution options for PlanExecutor / Session, grouped by concern:
+/// scheduling and validation at the top level, with nested resilience,
+/// checkpoint and observability option sets.
+struct ExecOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Check every region access against the subregion its statement was
+  /// assigned — the dynamic partition-legality check used by the tests.
+  /// Violations throw PartitionViolation with loop/field/stmt/index context.
+  bool validateAccesses = false;
+  /// Run the partition legality verifier (region/verify) after
+  /// preparePartitions() and after any loop launch that replayed a task.
+  bool verifyPartitions = false;
+  ResilienceOptions resilience;
+  CheckpointOptions checkpoint;
+  ObservabilityOptions observability;
+};
+
+}  // namespace dpart::runtime

@@ -1,0 +1,158 @@
+#include "runtime/session.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart {
+
+struct Session::Impl {
+  region::World* world = nullptr;
+  /// The builder's options with the observability pointers resolved to the
+  /// session-owned instances where the caller supplied none.
+  runtime::ExecOptions options;
+  std::unique_ptr<Tracer> ownedTracer;
+  std::unique_ptr<MetricsRegistry> ownedMetrics;
+  parallelize::ParallelPlan plan;
+  // References impl->plan; Impl lives on the heap, so moving the Session
+  // never invalidates the executor's plan reference.
+  std::unique_ptr<runtime::PlanExecutor> executor;
+};
+
+SessionBuilder Session::parallelize(const ir::Program& program) {
+  return SessionBuilder(program);
+}
+
+Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+void Session::run() {
+  impl_->executor->run();
+  writeArtifacts();
+}
+
+const parallelize::ParallelPlan& Session::plan() const { return impl_->plan; }
+
+const parallelize::CompileStats& Session::stats() const {
+  return impl_->plan.stats;
+}
+
+runtime::PlanExecutor& Session::executor() { return *impl_->executor; }
+
+const runtime::PlanExecutor& Session::executor() const {
+  return *impl_->executor;
+}
+
+const std::map<std::string, region::Partition>& Session::partitions() const {
+  return impl_->executor->partitions();
+}
+
+const region::Partition& Session::partition(const std::string& name) const {
+  return impl_->executor->partition(name);
+}
+
+Tracer* Session::tracer() const {
+  return impl_->options.observability.tracer;
+}
+
+MetricsRegistry& Session::metrics() const {
+  return *impl_->options.observability.metrics;
+}
+
+void Session::writeArtifacts() const {
+  const ObservabilityOptions& obs = impl_->options.observability;
+  if (obs.tracer != nullptr && !obs.traceFile.empty()) {
+    obs.tracer->writeChromeTrace(obs.traceFile);
+  }
+  if (!obs.metricsFile.empty()) {
+    obs.metrics->writeJson(obs.metricsFile);
+  }
+}
+
+SessionBuilder::SessionBuilder(const ir::Program& program)
+    : program_(program) {}
+
+SessionBuilder& SessionBuilder::options(runtime::ExecOptions opts) {
+  options_ = std::move(opts);
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::compileOptions(parallelize::Options opts) {
+  compileOptions_ = opts;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::pieces(std::size_t n) {
+  pieces_ = n;
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::external(std::string name,
+                                         region::Partition partition) {
+  externals_.emplace_back(std::move(name), std::move(partition));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::externalConstraint(constraint::System system) {
+  externalConstraints_.push_back(std::move(system));
+  return *this;
+}
+
+Session SessionBuilder::build(region::World& world) {
+  DPART_CHECK(pieces_ > 0, "SessionBuilder::pieces() must be set (> 0)");
+  auto impl = std::make_unique<Session::Impl>();
+  impl->world = &world;
+  impl->options = std::move(options_);
+
+  ObservabilityOptions& obs = impl->options.observability;
+  const bool wantTrace = obs.trace || !obs.traceFile.empty();
+  if (obs.tracer == nullptr && wantTrace) {
+    impl->ownedTracer = std::make_unique<Tracer>(obs.traceCapacity);
+    obs.tracer = impl->ownedTracer.get();
+  }
+  if (impl->ownedTracer != nullptr) {
+    impl->ownedTracer->enable();
+  } else if (obs.tracer != nullptr && wantTrace) {
+    // Caller-owned tracer with an explicit trace request: switch it on;
+    // without the request the caller's enable state is respected.
+    obs.tracer->enable();
+  }
+  if (obs.metrics == nullptr) {
+    impl->ownedMetrics = std::make_unique<MetricsRegistry>();
+    obs.metrics = impl->ownedMetrics.get();
+  }
+
+  {
+    DPART_TRACE_SPAN(obs.tracer, "compile", "compile");
+    parallelize::AutoParallelizer parallelizer(world, compileOptions_);
+    parallelizer.setTracer(obs.tracer);
+    for (const constraint::System& sys : externalConstraints_) {
+      parallelizer.addExternalConstraint(sys);
+    }
+    impl->plan = parallelizer.plan(program_);
+  }
+
+  // Publish the Table 1 phase breakdown alongside the trace spans.
+  const parallelize::CompileStats& st = impl->plan.stats;
+  MetricsRegistry& mx = *obs.metrics;
+  mx.gauge("compile.inferMs").set(st.inferMs);
+  mx.gauge("compile.unifyMs").set(st.unifyMs);
+  mx.gauge("compile.solveMs").set(st.solveMs);
+  mx.gauge("compile.rewriteMs").set(st.rewriteMs);
+  mx.gauge("compile.parallelLoops").set(st.parallelLoops);
+
+  impl->executor = std::make_unique<runtime::PlanExecutor>(
+      world, impl->plan, pieces_, impl->options);
+  for (auto& [name, part] : externals_) {
+    impl->executor->bindExternal(name, std::move(part));
+  }
+  return Session(std::move(impl));
+}
+
+Session SessionBuilder::run(region::World& world) {
+  Session session = build(world);
+  session.run();
+  return session;
+}
+
+}  // namespace dpart

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraint/system.hpp"
+#include "ir/ir.hpp"
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/options.hpp"
+
+namespace dpart {
+
+class SessionBuilder;
+
+/// The one-stop facade over the whole pipeline: auto-parallelization
+/// (AutoParallelizer), partition materialization and loop execution
+/// (PlanExecutor), and the observability layer (Tracer + MetricsRegistry),
+/// owned together and wired through every layer. Built fluently:
+///
+///   auto session = Session::parallelize(program)
+///                      .pieces(8)
+///                      .options(opts)          // runtime::ExecOptions
+///                      .external("FIX", fix)   // Section 3.3 partitions
+///                      .run(world);            // plan + execute once
+///   session.run();                             // further timesteps
+///
+/// Planning happens exactly once; the executor (and with it the global
+/// launch index, checkpoint state and fault-injection wiring) persists
+/// across run() calls, so multi-timestep simulations behave identically to
+/// driving PlanExecutor by hand. When ObservabilityOptions::traceFile /
+/// metricsFile are set, the session owns a Tracer / MetricsRegistry and
+/// rewrites both files at the end of every run() (latest run wins).
+class Session {
+ public:
+  /// Entry point: start building a session for `program`.
+  [[nodiscard]] static SessionBuilder parallelize(const ir::Program& program);
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
+
+  /// Executes every planned loop once (one timestep) and refreshes the
+  /// trace/metrics artifacts. See PlanExecutor::run() for fault semantics.
+  void run();
+
+  [[nodiscard]] const parallelize::ParallelPlan& plan() const;
+  [[nodiscard]] const parallelize::CompileStats& stats() const;
+
+  /// The executor driving the plan — the escape hatch for everything the
+  /// facade does not wrap (taskReplays(), checkpointManager(), ...).
+  [[nodiscard]] runtime::PlanExecutor& executor();
+  [[nodiscard]] const runtime::PlanExecutor& executor() const;
+
+  [[nodiscard]] const std::map<std::string, region::Partition>& partitions()
+      const;
+  [[nodiscard]] const region::Partition& partition(
+      const std::string& name) const;
+
+  /// The session's tracer: the ObservabilityOptions-supplied one, the
+  /// session-owned one, or nullptr when tracing is off entirely.
+  [[nodiscard]] Tracer* tracer() const;
+
+  /// The session's metrics registry (never null: the session owns one when
+  /// the options did not supply one).
+  [[nodiscard]] MetricsRegistry& metrics() const;
+
+  /// Writes the trace / metrics artifacts configured in
+  /// ObservabilityOptions now (also done automatically after every run()).
+  void writeArtifacts() const;
+
+ private:
+  friend class SessionBuilder;
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Fluent configuration collected before the one-time planning step. All
+/// setters return *this; build()/run() consume the builder.
+class SessionBuilder {
+ public:
+  explicit SessionBuilder(const ir::Program& program);
+
+  /// Runtime options (threads, validation, resilience, checkpointing,
+  /// observability).
+  SessionBuilder& options(runtime::ExecOptions opts);
+  /// Compiler options (relaxation, unification, ... ablations).
+  SessionBuilder& compileOptions(parallelize::Options opts);
+  /// Number of pieces / parallel tasks (required, must be > 0).
+  SessionBuilder& pieces(std::size_t n);
+  /// Binds an externally constructed partition (Section 3.3).
+  SessionBuilder& external(std::string name, region::Partition partition);
+  /// Registers user-provided invariants on external partitions.
+  SessionBuilder& externalConstraint(constraint::System system);
+
+  /// Plans (once) and wires up the executor without running any loop.
+  [[nodiscard]] Session build(region::World& world);
+  /// build() followed by one Session::run().
+  [[nodiscard]] Session run(region::World& world);
+
+ private:
+  ir::Program program_;
+  runtime::ExecOptions options_;
+  parallelize::Options compileOptions_;
+  std::size_t pieces_ = 0;
+  std::vector<std::pair<std::string, region::Partition>> externals_;
+  std::vector<constraint::System> externalConstraints_;
+};
+
+}  // namespace dpart

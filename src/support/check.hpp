@@ -8,6 +8,12 @@
 
 namespace dpart {
 
+/// Span id of the innermost trace span open on the calling thread, or 0
+/// when none is open (defined in support/trace.cpp). Declared here so
+/// ErrorContext can stamp errors with the span they were thrown under
+/// without this header depending on the tracer.
+[[nodiscard]] std::uint64_t currentTraceSpanId() noexcept;
+
 /// Error thrown on violated preconditions or internal invariants.
 ///
 /// The library throws rather than aborting so that tests can assert on
@@ -30,6 +36,9 @@ struct ErrorContext {
   std::int64_t index = -1;  ///< offending element index
   int piece = -1;         ///< task / subregion number
   int attempt = -1;       ///< replay attempt (0 = first execution)
+  /// Trace span open on the throwing thread when the context was built
+  /// (0 = none / tracing off); lets a failure be located on the timeline.
+  std::uint64_t spanId = currentTraceSpanId();
 
   [[nodiscard]] std::string describe() const {
     std::string out;
@@ -47,6 +56,7 @@ struct ErrorContext {
     if (index >= 0) add("index", std::to_string(index));
     if (piece >= 0) add("piece", std::to_string(piece));
     if (attempt >= 0) add("attempt", std::to_string(attempt));
+    if (spanId > 0) add("span", std::to_string(spanId));
     if (!out.empty()) out += ']';
     return out;
   }

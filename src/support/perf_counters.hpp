@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string>
 
+#include "support/metrics.hpp"
+
 namespace dpart {
 
 /// Per-operator tallies for one class of DPL operator (see PerfCounters).
@@ -72,24 +74,43 @@ struct PerfCounters {
     return s;
   }
 
-  /// One machine-readable JSON object (no trailing newline).
+  /// One machine-readable JSON object (no trailing newline). Every declared
+  /// operator appears even with zero invocations, so downstream consumers
+  /// (bench JSON scrapers, the metrics export) see a fixed schema.
   [[nodiscard]] std::string toJson() const {
     std::ostringstream os;
     os << "{\"cache_hits\":" << cacheHits
        << ",\"cache_misses\":" << cacheMisses
        << ",\"injected_stall_us\":" << injectedStallMicros << ",\"ops\":{";
-    bool first = true;
     for (std::size_t i = 0; i < kNumOps; ++i) {
       const OpCounter& c = ops[i];
-      if (c.invocations == 0) continue;
-      if (!first) os << ',';
-      first = false;
+      if (i > 0) os << ',';
       os << '"' << opName(i) << "\":{\"calls\":" << c.invocations
          << ",\"ms\":" << c.seconds * 1e3 << ",\"elements\":" << c.elements
          << ",\"runs\":" << c.runs << '}';
     }
     os << "}}";
     return os.str();
+  }
+
+  /// Publishes every tally into `registry` as dpl.* metrics, one labelled
+  /// series per operator. Values are absolute (gauge semantics for the
+  /// counts too, since PerfCounters accumulates and can be reset).
+  void exportTo(MetricsRegistry& registry) const {
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const MetricLabels labels{{"op", opName(i)}};
+      registry.gauge("dpl.op.calls", labels)
+          .set(static_cast<double>(ops[i].invocations));
+      registry.gauge("dpl.op.ms", labels).set(ops[i].seconds * 1e3);
+      registry.gauge("dpl.op.elements", labels)
+          .set(static_cast<double>(ops[i].elements));
+      registry.gauge("dpl.op.runs", labels)
+          .set(static_cast<double>(ops[i].runs));
+    }
+    registry.gauge("dpl.cache.hits").set(static_cast<double>(cacheHits));
+    registry.gauge("dpl.cache.misses").set(static_cast<double>(cacheMisses));
+    registry.gauge("dpl.injected_stall_us")
+        .set(static_cast<double>(injectedStallMicros));
   }
 
   /// Small human-readable table for debug output.

@@ -201,9 +201,9 @@ void runNodeLossDifferential(std::uint64_t seed, const ir::Program& prog,
 
   TempDir dir("shrink");
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.checkpointDir = dir.str();
-  opts.checkpointEveryNLaunches = 1;
+  opts.resilience.faultInjector = &inj;
+  opts.checkpoint.dir = dir.str();
+  opts.checkpoint.everyNLaunches = 1;
   opts.verifyPartitions = true;
   opts.validateAccesses = true;
   runtime::PlanExecutor exec(faulty, plan, kPieces, opts);
@@ -269,9 +269,9 @@ TEST(ElasticShrink, MultiLoopPipelineResumesMidStep) {
 
   TempDir dir("pipeline");
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.checkpointDir = dir.str();
-  opts.checkpointEveryNLaunches = 2;  // restore rolls back up to 2 launches
+  opts.resilience.faultInjector = &inj;
+  opts.checkpoint.dir = dir.str();
+  opts.checkpoint.everyNLaunches = 2;  // restore rolls back up to 2 launches
   opts.verifyPartitions = true;
   opts.validateAccesses = true;
   runtime::PlanExecutor exec(faulty, plan, kPieces, opts);
@@ -307,14 +307,14 @@ TEST(ElasticShrink, RetryExhaustionEscalatesToNodeLoss) {
   TempDir dir("exhaust");
   std::atomic<std::uint64_t> slept{0};
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.resilient = true;
-  opts.maxTaskRetries = 1;
-  opts.retryBackoffMicros = 200000;  // 200ms: must go through the hook
-  opts.sleepMicros = [&slept](std::uint64_t us) {
+  opts.resilience.faultInjector = &inj;
+  opts.resilience.taskReplay = true;
+  opts.resilience.maxTaskRetries = 1;
+  opts.resilience.retryBackoffMicros = 200000;  // 200ms: must go through the hook
+  opts.resilience.sleepMicros = [&slept](std::uint64_t us) {
     slept.fetch_add(us, std::memory_order_relaxed);
   };
-  opts.checkpointDir = dir.str();
+  opts.checkpoint.dir = dir.str();
   opts.verifyPartitions = true;
   runtime::PlanExecutor exec(faulty, plan, kPieces, opts);
   for (int s = 0; s < kSteps; ++s) exec.run();
@@ -352,8 +352,8 @@ TEST(ElasticShrink, LoopFaultRestoresWithoutShrink) {
 
   TempDir dir("loopfault");
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.checkpointDir = dir.str();
+  opts.resilience.faultInjector = &inj;
+  opts.checkpoint.dir = dir.str();
   opts.verifyPartitions = true;
   runtime::PlanExecutor exec(faulty, plan, kPieces, opts);
   for (int s = 0; s < kSteps; ++s) exec.run();
@@ -380,8 +380,8 @@ TEST(ElasticShrink, NodeLossWithoutCheckpointsPropagates) {
   inj.arm("node:0", loss);
 
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.resilient = true;  // in-place replay must NOT catch a lost node
+  opts.resilience.faultInjector = &inj;
+  opts.resilience.taskReplay = true;  // in-place replay must NOT catch a lost node
   runtime::PlanExecutor exec(w, plan, kPieces, opts);
   EXPECT_THROW(exec.run(), runtime::NodeLossError);
   EXPECT_EQ(exec.taskReplays(), 0u);

@@ -231,7 +231,7 @@ TEST(EvaluatorFaults, PoisonedPartitionIsCaughtByTheVerifier) {
   inj.arm("dpl:", spec);
 
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
+  opts.resilience.faultInjector = &inj;
   opts.verifyPartitions = true;
   runtime::PlanExecutor exec(c.world, c.plan, 4, opts);
   EXPECT_THROW(exec.preparePartitions(), PartitionViolation);
@@ -245,7 +245,7 @@ TEST(ExecutorFaults, CrashWithoutResilienceAbortsTheRun) {
   spec.maxFires = 1;
   inj.arm("task:", spec);
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
+  opts.resilience.faultInjector = &inj;
   runtime::PlanExecutor exec(c.world, c.plan, 4, opts);
   EXPECT_THROW(exec.run(), TaskFailure);
   EXPECT_EQ(exec.taskReplays(), 0u);
@@ -256,9 +256,9 @@ TEST(ExecutorFaults, RetryExhaustionWrapsTheLastFailure) {
   FaultInjector inj(5);
   inj.arm("task:copy:0", crashSpec(1.0));  // unbounded fires on one task
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.resilient = true;
-  opts.maxTaskRetries = 2;
+  opts.resilience.faultInjector = &inj;
+  opts.resilience.taskReplay = true;
+  opts.resilience.maxTaskRetries = 2;
   runtime::PlanExecutor exec(c.world, c.plan, 4, opts);
   try {
     exec.run();
@@ -276,7 +276,7 @@ TEST(ExecutorFaults, LoopSiteCrashFailsBeforeAnyMutation) {
   FaultSpec spec = crashSpec(1.0);
   inj.arm("loop:copy", spec);
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
+  opts.resilience.faultInjector = &inj;
   runtime::PlanExecutor exec(c.world, c.plan, 4, opts);
   EXPECT_THROW(exec.run(), TaskFailure);
   auto tmp = c.world.region("R").f64("tmp");

@@ -198,11 +198,11 @@ void runDifferential(std::uint64_t seed, const ir::Program& prog,
 
   std::atomic<std::uint64_t> slept{0};
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.resilient = true;
-  opts.maxTaskRetries = 5;
-  opts.retryBackoffMicros = 1;
-  opts.sleepMicros = [&slept](std::uint64_t us) {
+  opts.resilience.faultInjector = &inj;
+  opts.resilience.taskReplay = true;
+  opts.resilience.maxTaskRetries = 5;
+  opts.resilience.retryBackoffMicros = 1;
+  opts.resilience.sleepMicros = [&slept](std::uint64_t us) {
     slept.fetch_add(us, std::memory_order_relaxed);
   };
   opts.verifyPartitions = true;
@@ -288,11 +288,11 @@ TEST_P(CrashRecovery, BitwiseIdenticalAcrossUnifiedLoops) {
 
   std::atomic<std::uint64_t> slept{0};
   runtime::ExecOptions opts;
-  opts.faultInjector = &inj;
-  opts.resilient = true;
-  opts.maxTaskRetries = 5;
-  opts.retryBackoffMicros = 1;
-  opts.sleepMicros = [&slept](std::uint64_t us) {
+  opts.resilience.faultInjector = &inj;
+  opts.resilience.taskReplay = true;
+  opts.resilience.maxTaskRetries = 5;
+  opts.resilience.retryBackoffMicros = 1;
+  opts.resilience.sleepMicros = [&slept](std::uint64_t us) {
     slept.fetch_add(us, std::memory_order_relaxed);
   };
   opts.verifyPartitions = true;

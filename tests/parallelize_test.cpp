@@ -467,7 +467,10 @@ TEST(Parallelize, CompileStatsArePopulated) {
   ParallelPlan plan = ap.plan(Figure1App::program());
   EXPECT_EQ(plan.stats.parallelLoops, 2);
   EXPECT_GE(plan.stats.inferMs, 0.0);
+  EXPECT_GE(plan.stats.unifyMs, 0.0);
   EXPECT_GE(plan.stats.solveMs, 0.0);
+  // solveMs includes the relaxation pass, so it dominates pure resolution
+  // and stays comparable with the paper's Table 1 "solver" row.
   EXPECT_GE(plan.stats.rewriteMs, 0.0);
 }
 
