@@ -1,5 +1,9 @@
 #include "apps/spmv.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "region/dpl_ops.hpp"
 
 #include "support/check.hpp"
@@ -13,7 +17,30 @@ using region::Run;
 SpmvApp::SpmvApp(Params params)
     : params_(params), world_(std::make_unique<region::World>()) {
   const Index n = rows();
-  const Index nnz = n * params_.nnzPerRow;
+
+  // Row lengths: uniform (the paper's balanced synthetic matrix) or a
+  // power-law heavy prefix, rescaled so the total non-zero count stays
+  // ~n*nnzPerRow and piece-count comparisons hold work constant.
+  std::vector<Index> rowNnz(static_cast<std::size_t>(n), params_.nnzPerRow);
+  if (params_.skew > 0) {
+    std::vector<double> w(static_cast<std::size_t>(n));
+    double sumw = 0;
+    for (Index r = 0; r < n; ++r) {
+      w[static_cast<std::size_t>(r)] =
+          std::pow(static_cast<double>(r + 1), -params_.skew);
+      sumw += w[static_cast<std::size_t>(r)];
+    }
+    const double scale =
+        static_cast<double>(n * params_.nnzPerRow) / sumw;
+    for (Index r = 0; r < n; ++r) {
+      rowNnz[static_cast<std::size_t>(r)] = std::max<Index>(
+          1, static_cast<Index>(
+                 std::llround(w[static_cast<std::size_t>(r)] * scale)));
+    }
+  }
+  Index nnz = 0;
+  for (const Index len : rowNnz) nnz += len;
+
   auto& y = world_->addRegion("Y", n);
   auto& ranges = world_->addRegion("Ranges", n);
   auto& mat = world_->addRegion("Mat", nnz);
@@ -26,26 +53,27 @@ SpmvApp::SpmvApp(Params params)
   world_->defineRangeFn("Ranges", "span", "Mat");
   world_->defineFieldFn("Mat", "ind", "X");
 
-  // Banded diagonal matrix: row r holds nnzPerRow entries centered on the
-  // diagonal; every row has exactly the same count (the paper's balanced
-  // synthetic matrix).
+  // Banded diagonal matrix: row r holds rowNnz[r] entries centered on the
+  // diagonal (with skew = 0, every row has exactly the same count — the
+  // paper's balanced synthetic matrix).
   auto span = ranges.range("span");
   auto mval = mat.f64("val");
   auto mind = mat.idx("ind");
   auto xval = x.f64("val");
-  const Index half = params_.nnzPerRow / 2;
+  Index offset = 0;
   for (Index r = 0; r < n; ++r) {
-    span[static_cast<std::size_t>(r)] =
-        Run{r * params_.nnzPerRow, (r + 1) * params_.nnzPerRow};
+    const Index len = rowNnz[static_cast<std::size_t>(r)];
+    const Index half = len / 2;
+    span[static_cast<std::size_t>(r)] = Run{offset, offset + len};
     xval[static_cast<std::size_t>(r)] = 1.0 + double(r % 17) * 0.25;
-    for (Index k = 0; k < params_.nnzPerRow; ++k) {
-      const auto e = static_cast<std::size_t>(r * params_.nnzPerRow + k);
-      Index col = r - half + k;
+    for (Index k = 0; k < len; ++k) {
+      const auto e = static_cast<std::size_t>(offset + k);
+      Index col = (r - half + k) % n;
       if (col < 0) col += n;
-      if (col >= n) col -= n;
       mval[e] = 1.0 / double(1 + k);
       mind[e] = col;
     }
+    offset += len;
   }
 
   // Figure 10a.

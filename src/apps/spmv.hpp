@@ -18,6 +18,13 @@ class SpmvApp {
     region::Index rowsPerPiece = 4096;
     region::Index nnzPerRow = 5;
     std::size_t pieces = 4;
+    /// Power-law skew of the row lengths: row r holds
+    /// max(1, round(C * (r+1)^-skew)) non-zeros, with C scaled so the total
+    /// stays ~rows*nnzPerRow. 0 (the default) keeps the paper's balanced
+    /// matrix (every row exactly nnzPerRow); larger values concentrate the
+    /// non-zeros in a heavy prefix of rows — the skewed variant the
+    /// adaptive-repartitioning bench uses.
+    double skew = 0;
   };
 
   explicit SpmvApp(Params params);

@@ -82,6 +82,15 @@ Program Program::withCse() const {
   return out;
 }
 
+Program Program::withoutDefinitions(
+    const std::set<std::string>& symbols) const {
+  Program out;
+  for (const Stmt& s : stmts_) {
+    if (!symbols.contains(s.lhs)) out.append(s.lhs, s.rhs);
+  }
+  return out;
+}
+
 std::string Program::toString() const {
   std::ostringstream os;
   for (const Stmt& s : stmts_) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,14 @@ class Program {
   /// aliases of the first definition (the paper applies CSE to solutions,
   /// e.g. Example 2).
   [[nodiscard]] Program withCse() const;
+
+  /// The program minus the statements defining the given symbols, used when
+  /// those symbols are rebound externally instead (Section 3.3): the adaptive
+  /// repartitioner replaces a solver-synthesized `equal` base with a weighted
+  /// partition and re-evaluates the remaining statements against the new
+  /// binding. Statement order is preserved.
+  [[nodiscard]] Program withoutDefinitions(
+      const std::set<std::string>& symbols) const;
 
   [[nodiscard]] std::string toString() const;
 

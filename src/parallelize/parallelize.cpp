@@ -391,4 +391,29 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   return result;
 }
 
+std::string equalBaseSymbol(const ParallelPlan& plan,
+                            const PlannedLoop& loop) {
+  std::map<std::string, const dpl::ExprPtr*> defs;
+  for (const dpl::Stmt& s : plan.dpl.stmts()) defs[s.lhs] = &s.rhs;
+  std::string name = loop.iterPartition;
+  // Follow alias statements; the visited set guards against cycles (which a
+  // well-formed program never contains, but a query must not hang on).
+  std::set<std::string> visited;
+  while (visited.insert(name).second) {
+    auto it = defs.find(name);
+    if (it == defs.end()) return "";  // external / unbound symbol
+    const dpl::Expr& rhs = **it->second;
+    if (rhs.kind == dpl::ExprKind::Symbol) {
+      name = rhs.name;
+      continue;
+    }
+    if (rhs.kind == dpl::ExprKind::Equal &&
+        rhs.region == loop.loop->iterRegion) {
+      return name;
+    }
+    return "";
+  }
+  return "";
+}
+
 }  // namespace dpart::parallelize

@@ -74,6 +74,16 @@ struct ParallelPlan {
   [[nodiscard]] std::string toString() const;
 };
 
+/// Resolves the solver-synthesized `equal` base partition behind a loop's
+/// iteration partition: follows alias statements (`P = Q`) in the plan's DPL
+/// program from `loop.iterPartition` and, when the chain ends at a statement
+/// of the form `B = equal(iterRegion)`, returns `B`. Returns "" when the
+/// iteration partition is not equal-derived (e.g. a relaxed loop iterating a
+/// preimage, or an externally bound partition) — such loops cannot be
+/// rebalanced by substituting a weighted base (runtime/rebalance).
+[[nodiscard]] std::string equalBaseSymbol(const ParallelPlan& plan,
+                                          const PlannedLoop& loop);
+
 /// The public entry point: the paper's compiler pass.
 ///
 ///   AutoParallelizer ap(world);

@@ -88,6 +88,57 @@ Partition equalPartition(const World& world, const std::string& regionName,
   return Partition(regionName, std::move(subs));
 }
 
+Partition equalWeighted(const World& world, const std::string& regionName,
+                        std::span<const double> weights, std::size_t pieces) {
+  DPART_CHECK(pieces > 0, "equalWeighted() needs at least one piece");
+  const Index n = world.region(regionName).size();
+  DPART_CHECK(static_cast<Index>(weights.size()) == n,
+              "equalWeighted() needs one weight per index of '" + regionName +
+                  "' (got " + std::to_string(weights.size()) + ", region has " +
+                  std::to_string(n) + ")");
+
+  // prefix[k] = sum of clamped weights [0, k). All-zero weight mass carries
+  // no balance signal, so it degrades to the unweighted operator.
+  std::vector<double> prefix(static_cast<std::size_t>(n) + 1, 0.0);
+  for (Index i = 0; i < n; ++i) {
+    const double w = weights[static_cast<std::size_t>(i)];
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + (w > 0 ? w : 0.0);
+  }
+  const double total = prefix.back();
+  if (total <= 0) return equalPartition(world, regionName, pieces);
+
+  std::vector<IndexSet> subs;
+  subs.reserve(pieces);
+  Index lo = 0;
+  for (std::size_t j = 0; j < pieces; ++j) {
+    Index hi;
+    if (j + 1 == pieces) {
+      hi = n;  // last piece absorbs the remainder exactly
+    } else if (lo >= n) {
+      hi = n;  // more pieces than indices: trailing pieces are empty
+    } else {
+      // First index whose weight prefix reaches this cut's share of the
+      // total. Searching from lo+1 keeps the piece non-empty even through
+      // zero-weight stretches.
+      const double target =
+          total * static_cast<double>(j + 1) / static_cast<double>(pieces);
+      const auto cut = std::lower_bound(
+          prefix.begin() + static_cast<std::ptrdiff_t>(lo) + 1, prefix.end(),
+          target);
+      hi = std::min<Index>(static_cast<Index>(cut - prefix.begin()), n);
+      // Leave at least one index for each remaining piece when enough
+      // indices remain (mirrors equal's no-gratuitously-empty-pieces shape).
+      const Index remaining = static_cast<Index>(pieces - 1 - j);
+      if (n - remaining > lo) hi = std::min(hi, n - remaining);
+      hi = std::max(hi, std::min<Index>(n, lo + 1));
+    }
+    subs.push_back(IndexSet::interval(lo, hi));
+    lo = hi;
+  }
+  return Partition(regionName, std::move(subs));
+}
+
 Partition imagePartition(const World& world, const Partition& src,
                          const std::string& fnId,
                          const std::string& targetRegion, ThreadPool* pool) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "region/partition.hpp"
@@ -38,6 +39,26 @@ namespace dpart::region {
 /// equal(R, n): n contiguous chunks of [0, |R|), sizes differing by at most 1.
 Partition equalPartition(const World& world, const std::string& regionName,
                          std::size_t pieces);
+
+/// Weighted counterpart of equal(R, n): n contiguous chunks of [0, |R|)
+/// whose per-index weight sums are balanced by prefix-sum splitting, the
+/// base partition substituted by the adaptive repartitioner when measured
+/// task times reveal skew (runtime/rebalance). `weights` holds one
+/// non-negative weight per index of R (negatives are clamped to zero).
+///
+/// Guarantees, regardless of the weight vector:
+///  - same disjointness/completeness as equal(R, n): contiguous, pairwise
+///    disjoint, and the union covers [0, |R|) exactly;
+///  - every piece is a single interval (at most one run);
+///  - while indices remain, no piece is empty (so with |R| >= n all n
+///    pieces are non-empty, matching equal's shape);
+///  - all-zero (or empty-region) input degrades to equalPartition.
+///
+/// Balance: each cut is placed where the weight prefix sum first reaches
+/// j/n of the total, so a piece's weight differs from the ideal total/n by
+/// at most 2*max(weights) — the bound the property tests pin down.
+Partition equalWeighted(const World& world, const std::string& regionName,
+                        std::span<const double> weights, std::size_t pieces);
 
 /// image(src, fn, target) / IMAGE(src, Fn, target).
 Partition imagePartition(const World& world, const Partition& src,

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "support/check.hpp"
+#include "support/timer.hpp"
 
 namespace dpart::runtime {
 
@@ -38,6 +39,16 @@ PlanExecutor::PlanExecutor(region::World& world,
         options_.checkpoint.dir, options_.checkpoint.retain);
     planHash_ = CheckpointManager::hashPlan(plan_);
   }
+  if (options_.adaptive.enabled) {
+    if (options_.observability.metrics == nullptr) {
+      // The Rebalancer's cost signal lives in the metrics registry; adaptive
+      // mode without one gets a private registry.
+      ownedMetrics_ = std::make_unique<MetricsRegistry>();
+      options_.observability.metrics = ownedMetrics_.get();
+    }
+    rebalancer_ = std::make_unique<Rebalancer>(
+        options_.adaptive, *options_.observability.metrics);
+  }
 }
 
 void PlanExecutor::countError(const char* kind) const {
@@ -59,6 +70,7 @@ void PlanExecutor::publishMetrics() const {
   mx->gauge("executor.bufferedElements")
       .set(static_cast<double>(bufferedElements_));
   mx->gauge("executor.pieces").set(static_cast<double>(pieces_));
+  mx->gauge("executor.rebalances").set(static_cast<double>(rebalances_));
   mx->gauge("executor.injectedStallMicros")
       .set(static_cast<double>(injectedStallMicros()));
   evaluator_.counters().exportTo(*mx);
@@ -87,8 +99,14 @@ void PlanExecutor::preparePartitions() {
     DPART_CHECK(evaluator_.has(ext),
                 "external partition '" + ext + "' was not bound");
   }
+  // Rebalanced base symbols are bound like externals (Section 3.3) and
+  // their defining statements elided from the evaluated program, so every
+  // derived partition re-materializes against the weighted base.
+  for (const auto& [name, part] : rebalancedBases_) {
+    evaluator_.bind(name, part);
+  }
   try {
-    evaluator_.run(plan_.dpl);
+    evaluator_.run(activeProgram());
   } catch (const EvalFailure&) {
     countError("EvalFailure");
     throw;
@@ -504,6 +522,15 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   ir::LoopRunner runner(world_, *loop.loop);
   std::vector<std::unique_ptr<TaskHooks>> hooks(pieces_);
   const auto& env = partitions();
+  // Per-piece task CPU seconds for this launch — the adaptive
+  // repartitioner's cost signal. Thread CPU time, not wall time: on an
+  // oversubscribed pool wall time measures time-slicing, while CPU seconds
+  // stay proportional to the piece's work (and project to per-node wall
+  // time on a distributed machine, where each piece has its node to
+  // itself). Disjoint slots per task, published to the metrics registry
+  // after the launch completes.
+  MetricsRegistry* mx = options_.observability.metrics;
+  std::vector<double> taskSeconds(mx != nullptr ? pieces_ : 0, 0.0);
   std::atomic<std::size_t> loopReplays{0};
   // Replays already performed must survive an escalating failure (retry
   // exhaustion aborts the launch mid-parallelFor), so merge on every exit.
@@ -517,6 +544,7 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   } replayMerge{loopReplays, replays_};
 
   auto runTask = [&](std::size_t j) {
+    const ThreadCpuTimer taskTimer;
     const IndexSet* own = needOwnership ? &ownership[j] : nullptr;
     const IndexSet& iters = iter.sub(j);
     const std::string site =
@@ -630,6 +658,7 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
         }
       }
     }
+    if (mx != nullptr) taskSeconds[j] = taskTimer.seconds();
   };
   try {
     pool_.parallelFor(pieces_, runTask);
@@ -672,6 +701,51 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
                       ",\"replays\":" + std::to_string(loopReplays.load()) +
                       ",\"buffered_elements\":" +
                       std::to_string(bufferedElements_));
+
+  if (mx != nullptr) {
+    double total = 0;
+    double worst = 0;
+    for (std::size_t j = 0; j < pieces_; ++j) {
+      taskSecondsGauge(*mx, loop.loop->name, j).add(taskSeconds[j]);
+      total += taskSeconds[j];
+      worst = std::max(worst, taskSeconds[j]);
+    }
+    launchCounter(*mx, loop.loop->name).inc();
+    const double meanSec = total / static_cast<double>(pieces_);
+    const double imbalance = meanSec > 0 ? worst / meanSec : 1.0;
+    mx->gauge("executor.imbalance").set(imbalance);
+    mx->gauge("executor.imbalance", {{"loop", loop.loop->name}})
+        .set(imbalance);
+  }
+  if (rebalancer_ != nullptr) maybeRebalance(loop);
+}
+
+void PlanExecutor::maybeRebalance(const parallelize::PlannedLoop& loop) {
+  const std::string& name = loop.loop->name;
+  rebalancer_->observe(name, pieces_);
+  if (!rebalancer_->shouldRebalance(name)) return;
+  const std::string base = parallelize::equalBaseSymbol(plan_, loop);
+  if (base.empty()) return;  // not equal-derived; nothing to substitute
+
+  DPART_TRACE_SPAN_NAMED(span, tracer(), "executor", "rebalance");
+  span.annotate("\"loop\":\"" + jsonEscape(name) + "\",\"base\":\"" +
+                jsonEscape(base) + "\",\"imbalance\":" +
+                std::to_string(rebalancer_->imbalance(name)) +
+                ",\"pieces\":" + std::to_string(pieces_));
+
+  region::Partition weighted = rebalancer_->rebuild(
+      world_, loop.loop->iterRegion, partition(loop.iterPartition), name);
+  rebalancedBases_.insert_or_assign(base, std::move(weighted));
+  std::set<std::string> replaced;
+  for (const auto& [sym, _] : rebalancedBases_) replaced.insert(sym);
+  activeDpl_ = plan_.dpl.withoutDefinitions(replaced);
+  prepared_ = false;
+  preparePartitions();
+  // Unconditional legality pass: every rebalance must leave partitions the
+  // plan's proofs still hold on, whatever options.verifyPartitions says.
+  region::verifyPartitionsOrThrow(world_, evaluator_.env(),
+                                  planExpectations(plan_, pieces_));
+  ++rebalances_;
 }
 
 void PlanExecutor::checkpoint() {
@@ -718,6 +792,13 @@ void PlanExecutor::restoreFromCheckpoint(std::optional<std::size_t> lostNode) {
                 (lostNode.has_value()
                      ? ",\"lost_node\":" + std::to_string(*lostNode)
                      : std::string{}));
+  // Revert any adaptive rebalances: checkpoints record only the true
+  // externals, so the restored state re-derives from the solver's unweighted
+  // bases, and the observation windows that justified the weights are stale
+  // on the (possibly shrunken) machine.
+  rebalancedBases_.clear();
+  activeDpl_ = dpl::Program{};
+  if (rebalancer_ != nullptr) rebalancer_->reset();
   evaluator_.reset(pieces_);
   externals_.clear();
   for (auto& [name, part] : restored.externals) {

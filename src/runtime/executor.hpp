@@ -17,6 +17,7 @@
 #include "region/world.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/options.hpp"
+#include "runtime/rebalance.hpp"
 #include "support/fault.hpp"
 #include "support/perf_counters.hpp"
 #include "support/thread_pool.hpp"
@@ -109,6 +110,11 @@ class PlanExecutor {
   /// Restores that shrank the machine because a node was permanently lost.
   [[nodiscard]] std::size_t elasticShrinks() const { return elasticShrinks_; }
 
+  /// Adaptive rebalances performed so far (RebalancePolicy::enabled mode):
+  /// launches where a loop's `equal` base partition was replaced by a
+  /// weighted one because the measured per-piece task times were skewed.
+  [[nodiscard]] std::size_t rebalances() const { return rebalances_; }
+
   /// Loop launches completed (across run() calls; rewound by a restore).
   [[nodiscard]] std::uint64_t launchesDone() const { return launchesDone_; }
 
@@ -168,6 +174,19 @@ class PlanExecutor {
   /// piece count, verifies legality, and rewinds launchesDone_.
   void restoreFromCheckpoint(std::optional<std::size_t> lostNode);
 
+  /// The DPL program preparePartitions() evaluates: the plan's program
+  /// until a rebalance replaces a base symbol, then the program minus the
+  /// replaced definitions (the weighted partitions are bound externally).
+  [[nodiscard]] const dpl::Program& activeProgram() const {
+    return rebalancedBases_.empty() ? plan_.dpl : activeDpl_;
+  }
+
+  /// Feeds the completed launch's per-piece times to the Rebalancer and,
+  /// when the policy says so, swaps the loop's `equal` base for a weighted
+  /// partition and re-evaluates every derived partition (Section 3.3 path —
+  /// no re-solve), verifying legality unconditionally afterwards.
+  void maybeRebalance(const parallelize::PlannedLoop& loop);
+
   region::World& world_;
   const parallelize::ParallelPlan& plan_;
   std::size_t pieces_;
@@ -186,6 +205,18 @@ class PlanExecutor {
   /// rebinding after a restore.
   std::map<std::string, region::Partition> externals_;
   std::unique_ptr<CheckpointManager> checkpoints_;
+  /// Metrics registry created when adaptive mode is on but the caller
+  /// supplied none: the Rebalancer's cost signal must have somewhere to
+  /// live. options_.observability.metrics points at it.
+  std::unique_ptr<MetricsRegistry> ownedMetrics_;
+  std::unique_ptr<Rebalancer> rebalancer_;
+  /// Base symbols currently replaced by weighted partitions, and the plan's
+  /// DPL program minus their definitions. Checkpoints deliberately exclude
+  /// these: a restore reverts to the solver's unweighted bases (the window
+  /// that justified the weights is stale after a restore/shrink anyway).
+  std::map<std::string, region::Partition> rebalancedBases_;
+  dpl::Program activeDpl_;
+  std::size_t rebalances_ = 0;
   std::uint64_t planHash_ = 0;
   std::uint64_t launchesDone_ = 0;
   std::size_t checkpointRestores_ = 0;

@@ -31,6 +31,10 @@ void Session::run() {
   writeArtifacts();
 }
 
+std::size_t Session::rebalances() const {
+  return impl_->executor->rebalances();
+}
+
 const parallelize::ParallelPlan& Session::plan() const { return impl_->plan; }
 
 const parallelize::CompileStats& Session::stats() const {
@@ -95,6 +99,12 @@ SessionBuilder& SessionBuilder::external(std::string name,
 
 SessionBuilder& SessionBuilder::externalConstraint(constraint::System system) {
   externalConstraints_.push_back(std::move(system));
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::adaptive(runtime::RebalancePolicy policy) {
+  policy.enabled = true;
+  options_.adaptive = policy;
   return *this;
 }
 

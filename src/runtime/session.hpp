@@ -50,6 +50,9 @@ class Session {
   /// trace/metrics artifacts. See PlanExecutor::run() for fault semantics.
   void run();
 
+  /// Adaptive rebalances performed so far (see SessionBuilder::adaptive).
+  [[nodiscard]] std::size_t rebalances() const;
+
   [[nodiscard]] const parallelize::ParallelPlan& plan() const;
   [[nodiscard]] const parallelize::CompileStats& stats() const;
 
@@ -99,6 +102,11 @@ class SessionBuilder {
   SessionBuilder& external(std::string name, region::Partition partition);
   /// Registers user-provided invariants on external partitions.
   SessionBuilder& externalConstraint(constraint::System system);
+  /// Enables skew-aware adaptive repartitioning (runtime/rebalance): the
+  /// executor watches per-piece task times and swaps skewed loops'
+  /// `equal` bases for weighted partitions under `policy`'s trigger /
+  /// hysteresis / cooldown / cap controls. `policy.enabled` is forced on.
+  SessionBuilder& adaptive(runtime::RebalancePolicy policy = {});
 
   /// Plans (once) and wires up the executor without running any loop.
   [[nodiscard]] Session build(region::World& world);

@@ -7,6 +7,18 @@
 
 namespace dpart::sim {
 
+double LoopSimResult::imbalance() const {
+  if (taskSeconds.empty()) return 1.0;
+  double total = 0;
+  double worst = 0;
+  for (const double t : taskSeconds) {
+    total += t;
+    worst = std::max(worst, t);
+  }
+  const double mean = total / static_cast<double>(taskSeconds.size());
+  return mean > 0 ? worst / mean : 1.0;
+}
+
 using optimize::ReduceStrategy;
 using region::Index;
 using region::IndexSet;
@@ -219,6 +231,7 @@ LoopSimResult ClusterSim::simulateLoop(
 
   double worstTask = 0;
   double worstResilientTask = 0;
+  result.taskSeconds.resize(pieces);
   for (std::size_t j = 0; j < pieces; ++j) {
     TaskCost& cost = costs[j];
     const double recvBytes =
@@ -234,6 +247,7 @@ LoopSimResult ClusterSim::simulateLoop(
     result.totalGhostElems += cost.ghostElems;
     result.totalBufferedElems += cost.bufferedElems;
     const double taskTime = cost.computeSeconds + cost.commSeconds;
+    result.taskSeconds[j] = taskTime;
     if (taskTime > worstTask) {
       worstTask = taskTime;
       result.worst = cost;

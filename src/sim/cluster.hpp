@@ -2,6 +2,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "parallelize/parallelize.hpp"
 #include "region/partition.hpp"
@@ -60,6 +61,13 @@ struct LoopSimResult {
   double seconds = 0;        ///< bulk-synchronous: max over tasks + launch
   double launchSeconds = 0;  ///< dependence-analysis share
   TaskCost worst;            ///< the critical task
+  /// Per-task launch time (compute + comm), one entry per piece — the
+  /// simulated counterpart of the executor's per-piece task wall times, so
+  /// the adaptive repartitioner's weight estimate can be projected at
+  /// machine sizes the real run never reaches (the bench's 256-node model).
+  std::vector<double> taskSeconds;
+  /// max(taskSeconds) / mean(taskSeconds); 1 when perfectly balanced.
+  [[nodiscard]] double imbalance() const;
   std::int64_t totalGhostElems = 0;
   std::int64_t totalBufferedElems = 0;
   /// Failure model (nodeMtbfSeconds > 0): expected task failures during one

@@ -1,0 +1,190 @@
+// Property tests for region::equalWeighted — the weighted counterpart of
+// equal(R, n) the adaptive repartitioner substitutes for skewed loops. The
+// operator must keep equal's structural guarantees (contiguous single-run
+// pieces, disjoint, complete, no gratuitously empty pieces) for *every*
+// weight vector, and balance piece weights within the documented
+// prefix-sum bound. Cross-checked against the partition legality verifier,
+// exactly as the executor does after a rebalance.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "region/dpl_ops.hpp"
+#include "region/verify.hpp"
+
+namespace dpart::region {
+namespace {
+
+double pieceWeight(const IndexSet& sub, const std::vector<double>& weights) {
+  double total = 0;
+  sub.forEach([&](Index i) {
+    const double w = weights[static_cast<std::size_t>(i)];
+    total += w > 0 ? w : 0.0;
+  });
+  return total;
+}
+
+void checkStructure(const World& world, const Partition& p,
+                    std::size_t pieces) {
+  const Index n = world.region(p.regionName()).size();
+  ASSERT_EQ(p.count(), pieces);
+  Index lo = 0;
+  for (std::size_t j = 0; j < pieces; ++j) {
+    const IndexSet& sub = p.sub(j);
+    // Contiguous: each piece is a single interval...
+    ASSERT_LE(sub.runs().size(), 1u) << "piece " << j << " is fragmented";
+    if (!sub.runs().empty()) {
+      // ...and the intervals tile [0, n) in order (disjoint + complete).
+      EXPECT_EQ(sub.runs().front().lo, lo);
+      lo = sub.runs().front().hi;
+    }
+    // No empty piece while indices remain.
+    if (lo < n) {
+      EXPECT_FALSE(sub.empty()) << "piece " << j << " empty with "
+                                << (n - lo) << " indices remaining";
+    }
+  }
+  EXPECT_EQ(lo, n) << "pieces do not cover the region";
+
+  // The same facts through the verifier — the check every rebalance runs.
+  PartitionExpectation e;
+  e.partition = "W";
+  e.region = p.regionName();
+  e.pieces = pieces;
+  e.disjoint = true;
+  e.complete = true;
+  std::map<std::string, Partition> env;
+  env.emplace("W", p);
+  const VerifyReport report = verifyPartitions(world, env, {e});
+  EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(EqualWeighted, RandomizedPropertySweep) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> sizeDist(1, 400);
+  std::uniform_int_distribution<int> pieceDist(1, 16);
+  std::uniform_real_distribution<double> weightDist(0.0, 10.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const Index n = sizeDist(rng);
+    const auto pieces = static_cast<std::size_t>(pieceDist(rng));
+    World world;
+    world.addRegion("R", n);
+
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    double total = 0;
+    double maxW = 0;
+    for (double& w : weights) {
+      w = weightDist(rng);
+      if (coin(rng) < 0.15) w = 0.0;           // zero-weight stretches
+      if (coin(rng) < 0.05) w = -w;            // negatives (clamped to 0)
+      if (coin(rng) < 0.02) w = 500.0;         // spikes
+      const double clamped = w > 0 ? w : 0.0;
+      total += clamped;
+      maxW = std::max(maxW, clamped);
+    }
+
+    const Partition p = equalWeighted(world, "R", weights, pieces);
+    checkStructure(world, p, pieces);
+
+    if (total <= 0) continue;
+    const double ideal = total / static_cast<double>(pieces);
+    double minPiece = total;
+    double maxPiece = 0;
+    for (std::size_t j = 0; j < pieces; ++j) {
+      const double w = pieceWeight(p.sub(j), weights);
+      minPiece = std::min(minPiece, w);
+      maxPiece = std::max(maxPiece, w);
+      // The documented prefix-sum balance bound.
+      EXPECT_LE(w, ideal + 2 * maxW + 1e-9)
+          << "piece " << j << " of " << pieces << " over " << n
+          << " indices holds " << w << " (ideal " << ideal << ", max weight "
+          << maxW << ")";
+    }
+    // Fine-grained weights (no index is a large fraction of a piece) keep
+    // every cut within one weight of its target, bounding the max/min piece
+    // weight ratio by (ideal + w_max) / (ideal - w_max) <= 5/3.
+    if (maxW <= ideal / 4 && static_cast<Index>(pieces) <= n) {
+      EXPECT_GE(minPiece, ideal - maxW - 1e-9);
+      EXPECT_LE(maxPiece / minPiece, 5.0 / 3.0 + 1e-9);
+    }
+  }
+}
+
+TEST(EqualWeighted, AllZeroWeightsDegradeToEqual) {
+  World world;
+  world.addRegion("R", 17);
+  const std::vector<double> zeros(17, 0.0);
+  const Partition weighted = equalWeighted(world, "R", zeros, 4);
+  const Partition plain = equalPartition(world, "R", 4);
+  ASSERT_EQ(weighted.count(), plain.count());
+  for (std::size_t j = 0; j < plain.count(); ++j) {
+    EXPECT_TRUE(weighted.sub(j) == plain.sub(j)) << "piece " << j;
+  }
+}
+
+TEST(EqualWeighted, SkewMovesTheCut) {
+  World world;
+  world.addRegion("R", 100);
+  // First 10 indices are 9x the cost of the rest: a balanced 2-piece split
+  // puts the cut right after the heavy prefix region.
+  std::vector<double> weights(100, 1.0);
+  for (std::size_t i = 0; i < 10; ++i) weights[i] = 9.0;
+  const Partition p = equalWeighted(world, "R", weights, 2);
+  // total = 90 + 90 = 180, half = 90: cut where prefix reaches 90.
+  ASSERT_EQ(p.sub(0).runs().size(), 1u);
+  EXPECT_EQ(p.sub(0).runs().front().hi, 10);
+  EXPECT_EQ(static_cast<Index>(p.sub(1).size()), 90);
+}
+
+TEST(EqualWeighted, SpikeGetsItsOwnPiece) {
+  World world;
+  world.addRegion("R", 50);
+  std::vector<double> weights(50, 1e-6);
+  weights[20] = 1000.0;
+  const Partition p = equalWeighted(world, "R", weights, 4);
+  checkStructure(world, p, 4);
+  // The spike dominates every cut target, so the piece holding index 20
+  // carries almost the whole weight but the partition stays legal.
+  bool found = false;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (p.sub(j).contains(20)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EqualWeighted, MorePiecesThanIndices) {
+  World world;
+  world.addRegion("R", 3);
+  const std::vector<double> weights{5.0, 1.0, 1.0};
+  const Partition p = equalWeighted(world, "R", weights, 8);
+  checkStructure(world, p, 8);
+  std::size_t nonEmpty = 0;
+  for (std::size_t j = 0; j < 8; ++j) {
+    if (!p.sub(j).empty()) ++nonEmpty;
+  }
+  EXPECT_EQ(nonEmpty, 3u);  // every index placed, trailing pieces empty
+}
+
+TEST(EqualWeighted, SinglePieceTakesEverything) {
+  World world;
+  world.addRegion("R", 12);
+  const std::vector<double> weights(12, 2.5);
+  const Partition p = equalWeighted(world, "R", weights, 1);
+  ASSERT_EQ(p.count(), 1u);
+  EXPECT_EQ(static_cast<Index>(p.sub(0).size()), 12);
+}
+
+TEST(EqualWeighted, WrongWeightCountThrows) {
+  World world;
+  world.addRegion("R", 10);
+  const std::vector<double> weights(7, 1.0);
+  EXPECT_THROW(static_cast<void>(equalWeighted(world, "R", weights, 2)),
+               Error);
+}
+
+}  // namespace
+}  // namespace dpart::region

@@ -1,0 +1,254 @@
+// doc_check — CI gate for the repository's documentation.
+//
+// Usage: doc_check <repo-root>
+//
+// Walks every Markdown file in the repository (skipping build trees) and
+// enforces two invariants, so the docs cannot silently rot as the code
+// moves:
+//
+//   1. Every relative Markdown link [text](target) resolves to an existing
+//      file or directory. External links (http/https/mailto) and pure
+//      anchors (#...) are ignored; fragments are stripped before checking.
+//
+//   2. Every repo path the docs mention — `src/...`, `docs/...`,
+//      `tests/...`, `bench/...`, `examples/...`, `tools/...` tokens in
+//      prose, diagrams or code fences, and every `#include "..."` line in a
+//      fenced snippet — names a real file or directory (a bare `foo/bar`
+//      also matches foo/bar.cpp or foo/bar.hpp, so diagrams may cite a
+//      translation unit by stem). `build/...` paths are exempt: they only
+//      exist after a build.
+//
+//   3. Every `ns::Symbol` reference in inline code spans of docs/ files
+//      must occur somewhere in the src/ tree, so renamed APIs cannot leave
+//      stale mentions behind.
+//
+// Exits 0 when clean; prints one line per violation and exits 1 otherwise.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string what;
+};
+
+std::vector<Violation> violations;
+
+void report(const fs::path& file, std::size_t line, const std::string& what) {
+  violations.push_back({file.string(), line, what});
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool skippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == ".claude" || name.rfind("build", 0) == 0;
+}
+
+bool isExternalLink(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0 || target.rfind("#", 0) == 0;
+}
+
+/// A repo path exists as given, or as the stem of a translation unit.
+bool repoPathExists(const fs::path& root, std::string token) {
+  while (!token.empty() &&
+         (token.back() == '.' || token.back() == ',' || token.back() == ':' ||
+          token.back() == ';' || token.back() == ')')) {
+    token.pop_back();
+  }
+  if (token.empty()) return true;
+  const fs::path p = root / token;
+  return fs::exists(p) || fs::exists(p.string() + ".cpp") ||
+         fs::exists(p.string() + ".hpp");
+}
+
+bool pathChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '/' || c == '.' || c == '-';
+}
+
+/// Checks [text](target) links outside code fences.
+void checkLinks(const fs::path& root, const fs::path& file,
+                const std::vector<std::string>& lines) {
+  bool inFence = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    if (line.rfind("```", 0) == 0) {
+      inFence = !inFence;
+      continue;
+    }
+    if (inFence) continue;
+    for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+      if (line[i] != ']' || line[i + 1] != '(') continue;
+      const std::size_t close = line.find(')', i + 2);
+      if (close == std::string::npos) continue;
+      std::string target = line.substr(i + 2, close - i - 2);
+      if (target.empty() || isExternalLink(target)) continue;
+      const std::size_t frag = target.find('#');
+      if (frag != std::string::npos) target = target.substr(0, frag);
+      if (target.empty()) continue;
+      const fs::path resolved = file.parent_path() / target;
+      if (!fs::exists(resolved)) {
+        report(file, ln + 1, "broken link: (" + target + ")");
+      }
+      static_cast<void>(root);
+    }
+  }
+}
+
+/// Checks every src/tests/docs/bench/examples/tools path token, anywhere in
+/// the file (prose, tables, diagrams and code fences alike).
+void checkPathTokens(const fs::path& root, const fs::path& file,
+                     const std::vector<std::string>& lines) {
+  static const std::vector<std::string> kRoots = {
+      "src/", "docs/", "tests/", "bench/", "examples/", "tools/"};
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    for (const std::string& prefix : kRoots) {
+      for (std::size_t pos = line.find(prefix); pos != std::string::npos;
+           pos = line.find(prefix, pos + 1)) {
+        // Reject mid-path matches like build/bench/ or ./src (the latter is
+        // fine: "./" still names the repo root in our docs).
+        if (pos > 0 && (pathChar(line[pos - 1]) || line[pos - 1] == '/')) {
+          continue;
+        }
+        std::size_t end = pos;
+        while (end < line.size() && pathChar(line[end])) ++end;
+        const std::string token = line.substr(pos, end - pos);
+        if (!repoPathExists(root, token)) {
+          report(file, ln + 1, "stale path: " + token);
+        }
+      }
+    }
+  }
+}
+
+/// In docs/: every #include "..." inside a fence must name a real header,
+/// and every `ns::Symbol` inline-code mention must occur in src/.
+void checkDocsSnippets(const fs::path& root, const fs::path& file,
+                       const std::vector<std::string>& lines,
+                       const std::string& srcCorpus) {
+  bool inFence = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    if (line.rfind("```", 0) == 0) {
+      inFence = !inFence;
+      continue;
+    }
+    if (inFence) {
+      const std::size_t inc = line.find("#include \"");
+      if (inc != std::string::npos) {
+        const std::size_t start = inc + 10;
+        const std::size_t end = line.find('"', start);
+        if (end != std::string::npos) {
+          const std::string header = line.substr(start, end - start);
+          if (!fs::exists(root / "src" / header)) {
+            report(file, ln + 1, "snippet includes missing header: " + header);
+          }
+        }
+      }
+      continue;
+    }
+    // Inline code spans: `...::...`.
+    for (std::size_t tick = line.find('`'); tick != std::string::npos;
+         tick = line.find('`', tick + 1)) {
+      const std::size_t close = line.find('`', tick + 1);
+      if (close == std::string::npos) break;
+      const std::string span = line.substr(tick + 1, close - tick - 1);
+      tick = close;
+      const std::size_t sep = span.find("::");
+      if (sep == std::string::npos) continue;
+      // The identifier after the last :: is the symbol to look up.
+      std::size_t idStart = span.rfind("::") + 2;
+      std::size_t idEnd = idStart;
+      while (idEnd < span.size() &&
+             (std::isalnum(static_cast<unsigned char>(span[idEnd])) != 0 ||
+              span[idEnd] == '_')) {
+        ++idEnd;
+      }
+      const std::string id = span.substr(idStart, idEnd - idStart);
+      if (id.empty()) continue;
+      if (srcCorpus.find(id) == std::string::npos) {
+        report(file, ln + 1, "unknown symbol in docs: `" + span + "`");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: doc_check <repo-root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  if (!fs::exists(root / "README.md")) {
+    std::cerr << "doc_check: " << root << " does not look like the repo root\n";
+    return 2;
+  }
+
+  // Concatenate src/ (headers and sources) once for symbol lookups.
+  std::string srcCorpus;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    srcCorpus += readFile(entry.path());
+  }
+
+  std::size_t files = 0;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && skippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file() || it->path().extension() != ".md") continue;
+    ++files;
+    const std::string text = readFile(it->path());
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) lines.push_back(cur);
+
+    checkLinks(root, it->path(), lines);
+    checkPathTokens(root, it->path(), lines);
+    const fs::path rel = fs::relative(it->path(), root);
+    if (!rel.empty() && rel.begin()->string() == "docs") {
+      checkDocsSnippets(root, it->path(), lines, srcCorpus);
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": " << v.what << "\n";
+  }
+  if (violations.empty()) {
+    std::cout << "doc_check: " << files << " Markdown files clean\n";
+    return 0;
+  }
+  std::cerr << "doc_check: " << violations.size() << " violation(s) in "
+            << files << " files\n";
+  return 1;
+}
