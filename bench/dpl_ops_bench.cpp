@@ -1,8 +1,11 @@
 // Microbenchmark for the DPL operator kernels: times each operator at
 // several region sizes and piece counts, serial vs pooled, and emits one
 // machine-readable JSON line per measurement (the seed for the BENCH_*.json
-// perf trajectory). Also demonstrates the evaluator's expression memo cache
-// on a program with shared subexpressions.
+// perf trajectory). Also times raw IndexSet set algebra across density
+// variants (interval-shaped, blocky, sparse, dense-random, alternating
+// singletons) — the rows the hybrid-representation speedup target and the
+// tools/bench_check CI regression gate are judged on — and demonstrates the
+// evaluator's expression memo cache on a program with shared subexpressions.
 //
 // Run: dpl_ops_bench [--quick]
 
@@ -154,6 +157,133 @@ void benchSize(Index n, std::size_t pieces, ThreadPool& pool, int reps,
   }
 }
 
+// ---- Raw IndexSet set algebra across density variants ----
+//
+// The DPL kernels above measure whole-partition materialization; these rows
+// isolate the per-IndexSet set-op cost at the representation level. The
+// "dense" and "alt" variants are the regimes where a flat run vector
+// degenerates to one run per element or two.
+
+struct SetPair {
+  IndexSet a;
+  IndexSet b;
+};
+
+SetPair makeSetPair(const std::string& variant, Index n) {
+  Rng rng(0xa15e ^ static_cast<std::uint64_t>(n));
+  if (variant == "interval") {
+    // One run each, large overlap: the shape equal/affine partitions take.
+    return {IndexSet::interval(0, n - n / 4), IndexSet::interval(n / 4, n)};
+  }
+  if (variant == "blocks") {
+    // Mesh-ish: medium runs with partial overlap between the operands.
+    dpart::region::IndexSetBuilder ba;
+    dpart::region::IndexSetBuilder bb;
+    for (Index lo = 0; lo < n; lo += 256) {
+      ba.addRun(lo, std::min<Index>(n, lo + 192));
+      bb.addRun(std::min<Index>(n, lo + 96), std::min<Index>(n, lo + 288));
+    }
+    return {ba.build(), bb.build()};
+  }
+  if (variant == "sparse") {
+    // ~1.5% density scattered singletons (GRAPHOPT-style remote references).
+    dpart::region::IndexSetBuilder ba;
+    dpart::region::IndexSetBuilder bb;
+    for (Index i = 0; i < n; ++i) {
+      if (rng.chance(1.0 / 64)) ba.add(i);
+      if (rng.chance(1.0 / 64)) bb.add(i);
+    }
+    return {ba.build(), bb.build()};
+  }
+  if (variant == "dense") {
+    // ~50% density random membership: worst case for run-length encoding.
+    dpart::region::IndexSetBuilder ba;
+    dpart::region::IndexSetBuilder bb;
+    for (Index i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) ba.add(i);
+      if (rng.chance(0.5)) bb.add(i);
+    }
+    return {ba.build(), bb.build()};
+  }
+  if (variant == "alt") {
+    // Adversarial alternating singletons: n/2 runs per operand.
+    dpart::region::IndexSetBuilder ba;
+    dpart::region::IndexSetBuilder bb;
+    for (Index i = 0; i < n; i += 2) {
+      ba.add(i);
+      bb.add(i + 1);
+    }
+    return {ba.build(), bb.build()};
+  }
+  std::cerr << "unknown set variant " << variant << '\n';
+  std::exit(1);
+}
+
+void emitSetRow(const std::string& op, const std::string& variant, Index n,
+                double ms, Index card, std::uint64_t runs) {
+  std::cout << "{\"bench\":\"set_algebra\",\"op\":\"" << op << "\",\"variant\":\""
+            << variant << "\",\"n\":" << n << ",\"ms\":" << ms
+            << ",\"card\":" << card << ",\"runs\":" << runs << "}\n";
+}
+
+void benchSetAlgebra(Index n, int reps) {
+  const std::vector<std::string> variants = {"interval", "blocks", "sparse",
+                                             "dense", "alt"};
+  for (const std::string& variant : variants) {
+    const SetPair p = makeSetPair(variant, n);
+    const IndexSet sup = p.a.unionWith(p.b);          // superset of both
+    const IndexSet disjoint = p.b.subtract(p.a);      // shares nothing with a
+
+    struct SetCase {
+      std::string op;
+      std::function<std::pair<Index, std::uint64_t>()> run;  // {card, runs}
+    };
+    std::vector<SetCase> cases;
+    cases.push_back({"union", [&] {
+                       const IndexSet r = p.a.unionWith(p.b);
+                       return std::make_pair(r.size(),
+                                             std::uint64_t(r.runCount()));
+                     }});
+    cases.push_back({"intersect", [&] {
+                       const IndexSet r = p.a.intersectWith(p.b);
+                       return std::make_pair(r.size(),
+                                             std::uint64_t(r.runCount()));
+                     }});
+    cases.push_back({"subtract", [&] {
+                       const IndexSet r = p.a.subtract(p.b);
+                       return std::make_pair(r.size(),
+                                             std::uint64_t(r.runCount()));
+                     }});
+    // True containment: the scan cannot bail early, so this is the full
+    // per-element (seed) vs word-at-a-time (hybrid) comparison.
+    cases.push_back({"containsAll", [&] {
+                       const bool ok = sup.containsAll(p.a);
+                       return std::make_pair(Index(ok ? 1 : 0),
+                                             std::uint64_t(0));
+                     }});
+    // Provably-disjoint probe: intersects() must scan everything to say no.
+    cases.push_back({"intersects", [&] {
+                       const bool hit = p.a.intersects(disjoint);
+                       return std::make_pair(Index(hit ? 1 : 0),
+                                             std::uint64_t(0));
+                     }});
+
+    for (const SetCase& c : cases) {
+      double best = 1e300;
+      Index card = 0;
+      std::uint64_t runs = 0;
+      for (int r = 0; r < reps; ++r) {
+        Timer t;
+        const auto [cardNow, runsNow] = c.run();
+        best = std::min(best, t.millis());
+        card = cardNow;
+        runs = runsNow;
+      }
+      emitSetRow(c.op, variant, n, best, card, runs);
+    }
+  }
+}
+
 // A program whose RHSs share subtrees the way unified constraint graphs do;
 // evaluating it twice shows the memo cache short-circuiting the second pass.
 void benchMemoization(Index n, std::size_t pieces, std::size_t threads) {
@@ -225,13 +355,17 @@ int main(int argc, char** argv) {
     Index n;
     std::size_t pieces;
   };
+  // --quick runs a subset of the full configuration grid (same keys), so a
+  // quick run's rows can be compared against a committed full-run baseline.
   std::vector<Config> configs = quick
       ? std::vector<Config>{{1 << 16, 16}}
-      : std::vector<Config>{{1 << 16, 4}, {1 << 18, 16}, {1 << 20, 16},
+      : std::vector<Config>{{1 << 16, 16}, {1 << 18, 16}, {1 << 20, 16},
                             {1 << 20, 64}};
   for (const Config& cfg : configs) {
     benchSize(cfg.n, cfg.pieces, pool, reps, table);
   }
+  benchSetAlgebra(1 << 18, reps);
+  if (!quick) benchSetAlgebra(1 << 20, reps);
   benchMemoization(quick ? 1 << 16 : 1 << 20, 16, pool.threadCount());
 
   double serialTotal = 0;

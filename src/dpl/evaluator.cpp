@@ -20,6 +20,21 @@ std::uint64_t runsProduced(const Partition& p) {
   return total;
 }
 
+// Snapshots the process-global hybrid-IndexSet tallies so one kernel call's
+// activity can be attributed to this evaluator's PerfCounters as a delta.
+// Constructed after operand evaluation (next to the kernel Timer), so nested
+// operator evaluations are not double-counted.
+struct SetStatsDelta {
+  IndexSet::Stats before = IndexSet::stats();
+
+  void harvest(PerfCounters& counters) const {
+    const IndexSet::Stats after = IndexSet::stats();
+    counters.containerSwitches +=
+        after.containerSwitches - before.containerSwitches;
+    counters.bitmapOpWords += after.bitmapOpWords - before.bitmapOpWords;
+  }
+};
+
 const char* opSite(ExprKind kind) {
   switch (kind) {
     case ExprKind::Symbol: return "dpl:symbol";
@@ -185,6 +200,7 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
       const std::uint64_t elems = static_cast<std::uint64_t>(
           lhs.totalElements() + rhs.totalElements());
       Timer t;
+      SetStatsDelta sd;
       std::size_t op = PerfCounters::kUnion;
       if (expr->kind == ExprKind::Union) {
         result = region::unionPartitions(lhs, rhs, pool_);
@@ -196,27 +212,32 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
         op = PerfCounters::kSubtract;
       }
       counters_.ops[op].record(t.seconds(), elems, runsProduced(result));
+      sd.harvest(counters_);
       break;
     }
     case ExprKind::Image: {
       const Partition arg = evalMemo(expr->arg);
       Timer t;
+      SetStatsDelta sd;
       result = region::imagePartition(world_, arg, expr->fn, expr->region,
                                       pool_);
       counters_.ops[PerfCounters::kImage].record(
           t.seconds(), static_cast<std::uint64_t>(arg.totalElements()),
           runsProduced(result));
+      sd.harvest(counters_);
       break;
     }
     case ExprKind::Preimage: {
       const Partition arg = evalMemo(expr->arg);
       Timer t;
+      SetStatsDelta sd;
       result = region::preimagePartition(world_, expr->region, expr->fn, arg,
                                          pool_);
       counters_.ops[PerfCounters::kPreimage].record(
           t.seconds(),
           static_cast<std::uint64_t>(world_.region(expr->region).size()),
           runsProduced(result));
+      sd.harvest(counters_);
       break;
     }
     case ExprKind::Equal: {

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "region/index_set.hpp"
+
+namespace dpart::region {
+
+/// Per-thread scratch buffers for the per-subregion fan-out in the DPL
+/// kernels (image/preimage/zip). Each worker reuses one arena across all the
+/// pieces it processes, so the hot loops stop allocating a fresh run/value
+/// vector per piece; the accumulated runs are handed to
+/// IndexSet::fromRuns(std::span) which never takes ownership.
+///
+/// Buffers only grow (vector::clear keeps capacity), which is exactly the
+/// behaviour we want: after the first few pieces the arena is sized for the
+/// largest piece and the fan-out becomes allocation-free.
+struct ScratchArena {
+  std::vector<Run> runs;       // primary run accumulator
+  std::vector<Run> runVals;    // batch-fn range results
+  std::vector<Index> indexVals;  // batch-fn point results
+
+  /// The calling thread's arena. Thread-local, so pool workers and the
+  /// serial path each get a stable instance with no synchronization.
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+};
+
+}  // namespace dpart::region

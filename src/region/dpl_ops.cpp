@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "region/arena.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -147,11 +148,13 @@ Partition imagePartition(const World& world, const Partition& src,
   const Index targetSize = world.region(targetRegion).size();
   std::vector<IndexSet> subs(src.count());
   forSubtasks(pool, src.count(), [&](std::size_t j) {
-    std::vector<Run> out;
+    ScratchArena& arena = ScratchArena::local();
+    std::vector<Run>& out = arena.runs;
+    out.clear();
     out.reserve(static_cast<std::size_t>(
         std::min<Index>(src.sub(j).size(), targetSize)));
     if (f.isRangeValued()) {
-      std::vector<Run> vals;
+      std::vector<Run>& vals = arena.runVals;
       for (const Run& r : src.sub(j).runs()) {
         vals.resize(static_cast<std::size_t>(r.size()));
         fn.ranges(r, vals);
@@ -162,7 +165,7 @@ Partition imagePartition(const World& world, const Partition& src,
         }
       }
     } else {
-      std::vector<Index> vals;
+      std::vector<Index>& vals = arena.indexVals;
       for (const Run& r : src.sub(j).runs()) {
         vals.resize(static_cast<std::size_t>(r.size()));
         fn.points(r, vals);
@@ -179,7 +182,7 @@ Partition imagePartition(const World& world, const Partition& src,
         }
       }
     }
-    subs[j] = IndexSet::fromRuns(std::move(out));
+    subs[j] = IndexSet::fromRuns(std::span<const Run>(out));
   });
   return Partition(targetRegion, std::move(subs));
 }
@@ -214,8 +217,9 @@ Partition preimagePartition(const World& world,
     const Index hi = targetSize * (static_cast<Index>(s) + 1) / nShards;
     auto& runs = shardRuns[s];
     constexpr Index kChunk = 4096;  // bounds scratch, amortizes batch setup
-    std::vector<Index> pvals;
-    std::vector<Run> rvals;
+    ScratchArena& arena = ScratchArena::local();
+    std::vector<Index>& pvals = arena.indexVals;
+    std::vector<Run>& rvals = arena.runVals;
     for (Index base = lo; base < hi; base += kChunk) {
       const Run chunk{base, std::min(base + kChunk, hi)};
       const auto n = static_cast<std::size_t>(chunk.size());
@@ -255,7 +259,9 @@ Partition preimagePartition(const World& world,
   forSubtasks(pool, src.count(), [&](std::size_t j) {
     std::size_t total = 0;
     for (std::size_t s = 0; s < shards; ++s) total += shardRuns[s][j].size();
-    std::vector<Run> merged;
+    ScratchArena& arena = ScratchArena::local();
+    std::vector<Run>& merged = arena.runs;
+    merged.clear();
     merged.reserve(total);
     for (std::size_t s = 0; s < shards; ++s) {
       for (const Run& r : shardRuns[s][j]) {
@@ -266,7 +272,7 @@ Partition preimagePartition(const World& world,
         }
       }
     }
-    subs[j] = IndexSet::fromRuns(std::move(merged));
+    subs[j] = IndexSet::fromRuns(std::span<const Run>(merged));
   });
   return Partition(targetRegion, std::move(subs));
 }

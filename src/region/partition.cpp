@@ -20,6 +20,9 @@ bool Partition::isDisjoint() const {
     std::size_t owner;
   };
   std::vector<Tagged> all;
+  std::size_t total = 0;
+  for (const IndexSet& s : subs_) total += s.runCount();
+  all.reserve(total);
   for (std::size_t j = 0; j < subs_.size(); ++j) {
     for (const Run& r : subs_[j].runs()) all.push_back({r, j});
   }
@@ -41,11 +44,14 @@ bool Partition::isComplete(Index regionSize) const {
 }
 
 IndexSet Partition::unionAll() const {
-  std::vector<Run> runs;
+  std::size_t total = 0;
+  for (const IndexSet& s : subs_) total += s.runCount();
+  IndexSetBuilder b;
+  b.reserve(total);  // known run count: no growth reallocations in the loop
   for (const IndexSet& s : subs_) {
-    runs.insert(runs.end(), s.runs().begin(), s.runs().end());
+    for (const Run& r : s.runs()) b.addRun(r.lo, r.hi);
   }
-  return IndexSet::fromRuns(std::move(runs));
+  return b.build();
 }
 
 Index Partition::totalElements() const {

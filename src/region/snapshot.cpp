@@ -1,6 +1,7 @@
 #include "region/snapshot.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -12,6 +13,15 @@ namespace {
 constexpr std::uint8_t kTagF64 = 0;
 constexpr std::uint8_t kTagIdx = 1;
 constexpr std::uint8_t kTagRange = 2;
+
+// v2 IndexSet encodings (v1 streams have no tag byte: the body is always the
+// flat run list).
+constexpr std::uint8_t kSetRuns = 0;     // u64 count, then (lo, hi) pairs
+constexpr std::uint8_t kSetChunked = 1;  // per-chunk containers, bitmaps raw
+
+// Per-chunk container kinds under kSetChunked.
+constexpr std::uint8_t kChunkRuns = 0;
+constexpr std::uint8_t kChunkBitmap = 1;
 
 std::uint8_t tagOf(FieldType t) {
   switch (t) {
@@ -44,27 +54,93 @@ struct StagedRegion {
 }  // namespace
 
 void writeIndexSet(BinaryWriter& w, const IndexSet& set) {
-  const auto runs = set.runs();
-  w.u64(runs.size());
-  for (const Run& run : runs) {
-    w.i64(run.lo);
-    w.i64(run.hi);
+  if (set.bitmapChunkCount() == 0) {
+    // Run-shaped sets (the common partition case) keep the v1-style compact
+    // run list behind a tag byte; interval partitions stay a few bytes each.
+    const auto runs = set.runs();
+    w.u8(kSetRuns);
+    w.u64(runs.size());
+    for (const Run& run : runs) {
+      w.i64(run.lo);
+      w.i64(run.hi);
+    }
+    return;
   }
+  // Dense sets serialize chunk-at-a-time: bitmap containers are dumped as
+  // raw words (64 per chunk) instead of exploding into per-run pairs.
+  w.u8(kSetChunked);
+  w.u64(set.chunkCount());
+  set.visitChunks([&w](const IndexSet::ChunkView& c) {
+    w.i64(c.base);
+    if (!c.words.empty()) {
+      w.u8(kChunkBitmap);
+      for (const std::uint64_t word : c.words) w.u64(word);
+    } else {
+      w.u8(kChunkRuns);
+      w.u64(c.runs.size());
+      for (const Run& run : c.runs) {
+        w.i64(run.lo);
+        w.i64(run.hi);
+      }
+    }
+  });
 }
 
 IndexSet readIndexSet(BinaryReader& r) {
-  const std::uint64_t n = r.u64();
   std::vector<Run> runs;
-  runs.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const Index lo = r.i64();
-    const Index hi = r.i64();
-    if (hi <= lo) {
-      throw CheckpointCorruption("snapshot IndexSet has empty run [" +
-                                 std::to_string(lo) + "," +
-                                 std::to_string(hi) + ")");
+  const auto readRunList = [&r, &runs](std::uint64_t n) {
+    runs.reserve(runs.size() + n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Index lo = r.i64();
+      const Index hi = r.i64();
+      if (hi <= lo) {
+        throw CheckpointCorruption("snapshot IndexSet has empty run [" +
+                                   std::to_string(lo) + "," +
+                                   std::to_string(hi) + ")");
+      }
+      runs.push_back(Run{lo, hi});
     }
-    runs.push_back(Run{lo, hi});
+  };
+  if (r.formatVersion() < 2) {
+    // v1 stream: bare run list, no tag byte.
+    readRunList(r.u64());
+    return IndexSet::fromRuns(std::move(runs));
+  }
+  const std::uint8_t tag = r.u8();
+  if (tag == kSetRuns) {
+    readRunList(r.u64());
+  } else if (tag == kSetChunked) {
+    const std::uint64_t chunkCount = r.u64();
+    for (std::uint64_t c = 0; c < chunkCount; ++c) {
+      const Index base = r.i64();
+      const std::uint8_t kind = r.u8();
+      if (kind == kChunkRuns) {
+        readRunList(r.u64());
+      } else if (kind == kChunkBitmap) {
+        for (std::size_t k = 0; k < detail::kChunkWords; ++k) {
+          std::uint64_t word = r.u64();
+          const Index wb = base + static_cast<Index>(k * 64);
+          while (word != 0) {
+            const int start = std::countr_zero(word);
+            const int len = std::countr_one(word >> start);
+            const Index lo = wb + start;
+            if (!runs.empty() && runs.back().hi == lo) {
+              runs.back().hi = lo + len;
+            } else {
+              runs.push_back(Run{lo, lo + len});
+            }
+            if (start + len >= 64) break;
+            word &= ~0ull << (start + len);
+          }
+        }
+      } else {
+        throw CheckpointCorruption("snapshot IndexSet chunk has bad kind " +
+                                   std::to_string(kind));
+      }
+    }
+  } else {
+    throw CheckpointCorruption("snapshot IndexSet has bad container tag " +
+                               std::to_string(tag));
   }
   // fromRuns re-normalizes, so even a tampered-but-CRC-colliding payload
   // cannot smuggle an invariant-breaking set into the runtime.

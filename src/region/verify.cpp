@@ -96,8 +96,11 @@ VerifyReport verifyPartitions(
     if (e.disjoint) {
       IndexSet claimed;
       for (std::size_t j = 0; j < p.count(); ++j) {
-        const IndexSet overlap = p.sub(j).intersectWith(claimed);
-        if (!overlap.empty()) {
+        // intersects() early-exits at the first shared chunk; the overlap
+        // set is only materialized on the failure path, where the report
+        // needs its cardinality and first offending index.
+        if (p.sub(j).intersects(claimed)) {
+          const IndexSet overlap = p.sub(j).intersectWith(claimed);
           add(ViolationKind::NotDisjoint, e.partition,
               "subregion " + std::to_string(j) + " shares " +
                   std::to_string(overlap.size()) +

@@ -153,8 +153,11 @@ CheckpointManager::Restored CheckpointManager::restoreLatest(
   for (auto it = generations_.rbegin(); it != generations_.rend(); ++it) {
     const std::uint64_t gen = *it;
     try {
-      const std::vector<std::uint8_t> payload = readFramedFile(fileFor(gen));
+      std::uint32_t version = kSerializeVersion;
+      const std::vector<std::uint8_t> payload =
+          readFramedFile(fileFor(gen), &version);
       BinaryReader r(payload);
+      r.setFormatVersion(version);
       CheckpointMeta meta = readMeta(r);
       if (meta.generation != gen) {
         throw CheckpointCorruption(

@@ -53,6 +53,12 @@ struct PerfCounters {
   /// the stalled operator's wall time so per-op timings stay comparable
   /// between faulty and fault-free runs.
   std::uint64_t injectedStallMicros = 0;
+  /// Hybrid IndexSet activity attributable to the evaluator's kernel calls,
+  /// harvested as deltas of region::IndexSet::stats(): containers converted
+  /// between run and bitmap form, and 64-bit words processed by the
+  /// word-at-a-time bitmap op loops.
+  std::uint64_t containerSwitches = 0;
+  std::uint64_t bitmapOpWords = 0;
 
   void reset() { *this = PerfCounters{}; }
 
@@ -66,6 +72,8 @@ struct PerfCounters {
     cacheHits += other.cacheHits;
     cacheMisses += other.cacheMisses;
     injectedStallMicros += other.injectedStallMicros;
+    containerSwitches += other.containerSwitches;
+    bitmapOpWords += other.bitmapOpWords;
   }
 
   [[nodiscard]] double totalSeconds() const {
@@ -81,7 +89,9 @@ struct PerfCounters {
     std::ostringstream os;
     os << "{\"cache_hits\":" << cacheHits
        << ",\"cache_misses\":" << cacheMisses
-       << ",\"injected_stall_us\":" << injectedStallMicros << ",\"ops\":{";
+       << ",\"injected_stall_us\":" << injectedStallMicros
+       << ",\"container_switches\":" << containerSwitches
+       << ",\"bitmap_op_words\":" << bitmapOpWords << ",\"ops\":{";
     for (std::size_t i = 0; i < kNumOps; ++i) {
       const OpCounter& c = ops[i];
       if (i > 0) os << ',';
@@ -111,6 +121,10 @@ struct PerfCounters {
     registry.gauge("dpl.cache.misses").set(static_cast<double>(cacheMisses));
     registry.gauge("dpl.injected_stall_us")
         .set(static_cast<double>(injectedStallMicros));
+    registry.gauge("dpl.indexset.container_switches")
+        .set(static_cast<double>(containerSwitches));
+    registry.gauge("dpl.indexset.bitmap_op_words")
+        .set(static_cast<double>(bitmapOpWords));
   }
 
   /// Small human-readable table for debug output.
@@ -129,6 +143,10 @@ struct PerfCounters {
     os << "cache: " << cacheHits << " hits / " << cacheMisses << " misses\n";
     if (injectedStallMicros > 0) {
       os << "injected stalls: " << injectedStallMicros << " us\n";
+    }
+    if (containerSwitches > 0 || bitmapOpWords > 0) {
+      os << "indexset: " << containerSwitches << " container switches, "
+         << bitmapOpWords << " bitmap-op words\n";
     }
     return os.str();
   }

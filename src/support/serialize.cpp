@@ -152,7 +152,8 @@ void writeFramedFile(
   writeFileAtomic(path, file);
 }
 
-std::vector<std::uint8_t> readFramedFile(const std::string& path) {
+std::vector<std::uint8_t> readFramedFile(const std::string& path,
+                                         std::uint32_t* versionOut) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw CheckpointCorruption("cannot open checkpoint file '" + path + "'");
@@ -170,11 +171,12 @@ std::vector<std::uint8_t> readFramedFile(const std::string& path) {
     }
   }
   const std::uint32_t version = getU32(file, 4);
-  if (version != kSerializeVersion) {
+  if (version < kMinSerializeVersion || version > kSerializeVersion) {
     throw CheckpointCorruption("checkpoint file '" + path +
                                "' has unsupported version " +
                                std::to_string(version));
   }
+  if (versionOut != nullptr) *versionOut = version;
   const std::uint64_t size = getU64(file, 8);
   if (size != file.size() - kHeaderSize) {
     throw CheckpointCorruption(

@@ -11,11 +11,17 @@
 namespace dpart {
 
 /// On-disk format version of the checkpoint framing. Bumped whenever the
-/// payload layout produced by region/snapshot or runtime/checkpoint changes
-/// incompatibly; readFramedFile rejects files from other versions as
-/// CheckpointCorruption (a restart then falls back to re-initialization
+/// payload layout produced by region/snapshot or runtime/checkpoint changes;
+/// readFramedFile accepts [kMinSerializeVersion, kSerializeVersion] and
+/// reports the file's version so readers can branch, rejecting anything else
+/// as CheckpointCorruption (a restart then falls back to re-initialization
 /// rather than misinterpreting bytes).
-inline constexpr std::uint32_t kSerializeVersion = 1;
+///
+/// v1: flat run-length IndexSet encoding.
+/// v2: hybrid chunked IndexSet encoding (run or raw-bitmap containers behind
+///     a tag byte); everything else unchanged. v1 files remain readable.
+inline constexpr std::uint32_t kSerializeVersion = 2;
+inline constexpr std::uint32_t kMinSerializeVersion = 1;
 
 /// CRC-32 (IEEE 802.3 polynomial, as in zip/png) over a byte span.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
@@ -53,6 +59,12 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::span<const std::uint8_t> data) : data_(data) {}
 
+  /// Format version of the frame this payload came from (defaults to the
+  /// current version for payloads that never hit disk). Decoders branch on
+  /// this to keep reading older streams.
+  [[nodiscard]] std::uint32_t formatVersion() const { return version_; }
+  void setFormatVersion(std::uint32_t v) { version_ = v; }
+
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
@@ -76,6 +88,7 @@ class BinaryReader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  std::uint32_t version_ = kSerializeVersion;
 };
 
 /// Writes `contents` to `path` atomically: the bytes land in `path + ".tmp"`
@@ -95,9 +108,12 @@ void writeFramedFile(
     const std::function<void(std::vector<std::uint8_t>&)>& tamper = {});
 
 /// Reads a framed file back, validating magic, version, length and CRC-32.
-/// Any mismatch — unreadable file, truncation, bad magic/version, checksum
-/// failure — throws CheckpointCorruption naming the file and the defect.
+/// Versions in [kMinSerializeVersion, kSerializeVersion] are accepted; the
+/// file's version is stored through `versionOut` when non-null so the caller
+/// can seed BinaryReader::setFormatVersion. Any mismatch — unreadable file,
+/// truncation, bad magic, out-of-range version, checksum failure — throws
+/// CheckpointCorruption naming the file and the defect.
 [[nodiscard]] std::vector<std::uint8_t> readFramedFile(
-    const std::string& path);
+    const std::string& path, std::uint32_t* versionOut = nullptr);
 
 }  // namespace dpart

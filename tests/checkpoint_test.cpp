@@ -516,5 +516,92 @@ TEST(CheckpointManager, CorruptCheckpointFaultIsCaughtOnRestore) {
   EXPECT_EQ(got, cleanVal);
 }
 
+// Builds a version-1 framed file by hand: same magic / size / CRC framing,
+// but header version 1 and the pre-hybrid flat run-length IndexSet payload
+// (no container tag byte). This is byte-for-byte what a pre-hybrid build
+// wrote to disk.
+void dumpV1Frame(const std::string& path,
+                 std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> file = {'D', 'P', 'C', 'K'};
+  const auto putU32 = [&file](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      file.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  const auto putU64 = [&file](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      file.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  putU32(1);  // pre-hybrid format version
+  putU64(payload.size());
+  putU32(crc32(payload));
+  file.insert(file.end(), payload.begin(), payload.end());
+  dump(path, file);
+}
+
+// Namespace-scope (TEST bodies can't name Run: it collides with the
+// inherited testing::Test::Run member): singleton runs {i, i+1} for
+// i = lo, lo+2, ... below hi.
+std::vector<Run> alternatingSingletons(Index lo, Index hi) {
+  std::vector<Run> out;
+  for (Index i = lo; i < hi; i += 2) out.push_back(Run{i, i + 1});
+  return out;
+}
+
+void writeV1IndexSet(BinaryWriter& w, const IndexSet& set) {
+  const auto runs = set.runs();
+  w.u64(runs.size());
+  for (const Run& run : runs) {
+    w.i64(run.lo);
+    w.i64(run.hi);
+  }
+}
+
+TEST(CheckpointManager, PreHybridV1StreamRestoresBitExactly) {
+  TempDir dir("v1compat");
+  World w;
+  buildWorld(w, 13);
+  const Index nR = w.region("R").size();
+
+  // Externals include a fragmented (alternating-singleton) subregion, the
+  // shape most affected by the hybrid container switch on decode.
+  std::map<std::string, Partition> externals;
+  externals.emplace(
+      "p_frag",
+      Partition("R", {IndexSet::fromRuns(alternatingSingletons(0, nR)),
+                      IndexSet::fromRuns(alternatingSingletons(1, nR))}));
+
+  // v1 payload layout: meta, partition map (flat run lists), world snapshot.
+  BinaryWriter payload;
+  payload.u64(1);   // meta.generation
+  payload.u64(7);   // meta.launchIndex
+  payload.u64(21);  // meta.planHash
+  payload.u64(2);   // meta.pieces
+  payload.u64(externals.size());
+  for (const auto& [name, part] : externals) {
+    payload.str(name);
+    payload.str(part.regionName());
+    payload.u64(part.count());
+    for (const IndexSet& sub : part.subregions()) {
+      writeV1IndexSet(payload, sub);
+    }
+  }
+  region::snapshotWorld(payload, w);  // field columns: unchanged since v1
+  dumpV1Frame((dir.path / "ckpt-000001.dpc").string(), payload.payload());
+
+  runtime::CheckpointManager mgr(dir.str());
+  ASSERT_EQ(mgr.generations(), 1u);
+  World target;
+  buildWorld(target, 13);
+  scramble(target, 31);
+  const auto restored = mgr.restoreLatest(target, /*planHash=*/21);
+  EXPECT_EQ(restored.fallbacks, 0);
+  EXPECT_EQ(restored.meta.launchIndex, 7u);
+  EXPECT_EQ(restored.meta.pieces, 2u);
+  EXPECT_EQ(restored.externals, externals);
+  expectWorldsBitwiseEqual(w, target);
+}
+
 }  // namespace
 }  // namespace dpart

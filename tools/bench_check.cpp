@@ -1,0 +1,148 @@
+// bench_check — CI regression gate for the dpl_ops microbenchmarks.
+//
+// Usage: bench_check <baseline.json> <current.json> [tolerance]
+//
+// Both inputs are JSON-lines files as emitted by bench/dpl_ops_bench: one
+// object per row with "bench", "op", "ms" and shape keys ("n", "pieces",
+// "variant", "mode", ...). Rows are matched on every string/number key
+// except "ms", "threads" (runner-dependent), and the measured outputs
+// ("runs", "card"). Only deterministic-timing rows participate: serial-mode
+// dpl rows and the single-threaded set_algebra rows; "parallel" rows depend
+// on the runner's core count and are skipped.
+//
+// Repeated rows with the same identity are collapsed to their fastest
+// sample on BOTH sides, so CI can concatenate several quick runs into the
+// current file and gate on best-of-N — scheduling noise slows a sample
+// down, never speeds it up, so min-vs-min is the stable comparison. A row
+// regresses when current_ms > baseline_ms * (1 + tolerance) AND the
+// absolute slowdown exceeds a small noise floor (100us) — the band keeps
+// sub-microsecond rows from flapping on noisy shared runners. The current
+// file may be a subset of the baseline (the CI quick run), but at least one
+// row must match, and every current row must exist in the baseline so a
+// renamed op cannot silently drop out of the gate.
+//
+// Exits 0 when clean; prints one line per violation and exits 1 otherwise.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+constexpr double kNoiseFloorMs = 0.1;
+
+struct Row {
+  std::string key;  // canonical identity: every field except the measurements
+  double ms = 0;
+};
+
+bool eligible(const dpart::json::Value& obj) {
+  const dpart::json::Value* mode = obj.find("mode");
+  if (mode != nullptr && mode->str != "serial") return false;
+  return obj.has("bench") && obj.has("op") && obj.has("ms");
+}
+
+std::string identityOf(const dpart::json::Value& obj) {
+  // Ordered map so key order in the file doesn't matter.
+  std::map<std::string, std::string> parts;
+  for (const auto& [k, v] : obj.members) {
+    if (k == "ms" || k == "threads" || k == "runs" || k == "card") continue;
+    std::ostringstream os;
+    if (v.isString()) {
+      os << v.str;
+    } else if (v.isNumber()) {
+      os << v.number;
+    }
+    parts[k] = os.str();
+  }
+  std::ostringstream os;
+  for (const auto& [k, v] : parts) os << k << '=' << v << ' ';
+  return os.str();
+}
+
+std::vector<Row> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "bench_check: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::vector<Row> rows;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    dpart::json::Value obj;
+    try {
+      obj = dpart::json::parse(line);
+    } catch (const dpart::Error& e) {
+      std::cerr << "bench_check: " << path << ':' << lineNo << ": "
+                << e.what() << '\n';
+      std::exit(2);
+    }
+    if (!obj.isObject() || !eligible(obj)) continue;
+    rows.push_back(Row{identityOf(obj), obj.at("ms").number});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: bench_check <baseline.json> <current.json> "
+                 "[tolerance]\n";
+    return 2;
+  }
+  const double tolerance = argc == 4 ? std::stod(argv[3]) : 0.10;
+
+  std::map<std::string, double> baseline;
+  for (const Row& r : load(argv[1])) {
+    // Keep the fastest baseline sample per identity (repeated rows).
+    auto [it, inserted] = baseline.emplace(r.key, r.ms);
+    if (!inserted && r.ms < it->second) it->second = r.ms;
+  }
+
+  std::map<std::string, double> current;
+  for (const Row& r : load(argv[2])) {
+    // Best-of-N: keep the fastest current sample per identity as well.
+    auto [it, inserted] = current.emplace(r.key, r.ms);
+    if (!inserted && r.ms < it->second) it->second = r.ms;
+  }
+
+  int regressions = 0;
+  int unmatched = 0;
+  int compared = 0;
+  for (const auto& [key, ms] : current) {
+    const Row r{key, ms};
+    const auto it = baseline.find(r.key);
+    if (it == baseline.end()) {
+      std::cerr << "bench_check: no baseline row for: " << r.key << '\n';
+      ++unmatched;
+      continue;
+    }
+    ++compared;
+    const double limit = it->second * (1.0 + tolerance);
+    if (r.ms > limit && r.ms - it->second > kNoiseFloorMs) {
+      std::cerr << "bench_check: REGRESSION " << r.key << ": " << r.ms
+                << " ms vs baseline " << it->second << " ms (limit " << limit
+                << " ms)\n";
+      ++regressions;
+    }
+  }
+
+  if (compared == 0) {
+    std::cerr << "bench_check: no comparable rows between '" << argv[1]
+              << "' and '" << argv[2] << "'\n";
+    return 2;
+  }
+  std::cout << "bench_check: " << compared << " row(s) compared, "
+            << regressions << " regression(s), " << unmatched
+            << " unmatched\n";
+  return (regressions > 0 || unmatched > 0) ? 1 : 0;
+}
