@@ -1,0 +1,218 @@
+// Multi-process backend demo (docs/distributed-backend.md).
+//
+// Default mode runs a skewed SpMV on real forked worker processes and
+// checks the result bitwise against the in-process thread pool:
+//
+//   distributed_demo [--pieces N] [--steps S]
+//
+// With --kill-node K, worker K's process is really SIGKILLed mid-run by the
+// fault injector; the coordinator escalates the loss, and the executor
+// recovers through checkpoint restore + elastic shrink — the demo verifies
+// the survivors finish bitwise identical to a fault-free run at the
+// smaller piece count and prints the recovery counters.
+//
+// With --model-error, the demo validates sim/ClusterSim's communication
+// model against the wire: it runs SpMV and the 9-point stencil on the
+// multi-process backend, reads the measured steady-state ghost traffic of
+// each loop from the coordinator, and reports the simulated ghost volume
+// next to it (the numbers quoted in EXPERIMENTS.md).
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/spmv.hpp"
+#include "apps/stencil.hpp"
+#include "runtime/distributed/coordinator.hpp"
+#include "runtime/executor.hpp"
+#include "sim/cluster.hpp"
+#include "support/fault.hpp"
+
+namespace fs = std::filesystem;
+using namespace dpart;
+
+namespace {
+
+runtime::ExecOptions multiProcess() {
+  runtime::ExecOptions o;
+  o.threads = 1;
+  o.distributed.backend = runtime::ExecBackend::MultiProcess;
+  return o;
+}
+
+/// Bitwise F64 comparison across two worlds; returns mismatch count.
+std::size_t diffWorlds(region::World& want, region::World& got) {
+  std::size_t bad = 0;
+  for (const std::string& rn : want.regionNames()) {
+    for (const std::string& fn : want.region(rn).fieldNames()) {
+      if (want.region(rn).fieldType(fn) != region::FieldType::F64) continue;
+      auto a = want.region(rn).f64(fn);
+      auto b = got.region(rn).f64(fn);
+      if (a.size() != b.size()) {
+        bad += a.size() > b.size() ? a.size() : b.size();
+        continue;
+      }
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::bit_cast<std::uint64_t>(a[i]) !=
+            std::bit_cast<std::uint64_t>(b[i])) {
+          ++bad;
+        }
+      }
+    }
+  }
+  return bad;
+}
+
+apps::SpmvApp::Params spmvParams(std::size_t pieces) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 256;
+  p.nnzPerRow = 5;
+  p.pieces = pieces;
+  p.skew = 1.2;
+  return p;
+}
+
+int smokeMode(std::size_t pieces, int steps, int killNode) {
+  apps::SpmvApp multi(spmvParams(pieces));
+  apps::SimSetup setup = multi.autoSetup();
+  runtime::ExecOptions opts = multiProcess();
+
+  FaultInjector inj(42);
+  fs::path ckpt;
+  if (killNode >= 0) {
+    FaultSpec loss;
+    loss.kind = FaultKind::PermanentCrash;
+    loss.afterArrivals = 2;  // the victim's second launch: mid-run
+    loss.maxFires = 1;
+    inj.arm("node:" + std::to_string(killNode), loss);
+    opts.resilience.faultInjector = &inj;
+    ckpt = fs::temp_directory_path() /
+           ("dpart_dist_demo_" + std::to_string(::getpid()));
+    fs::create_directories(ckpt);
+    opts.checkpoint.dir = ckpt.string();
+    opts.verifyPartitions = true;
+  }
+
+  runtime::PlanExecutor exec(multi.world(), setup.plan, pieces, opts);
+  for (int s = 0; s < steps; ++s) exec.run();
+
+  const std::size_t survivors = exec.pieces();
+  std::printf("multi-process run: %zu -> %zu pieces, restores=%zu "
+              "shrinks=%zu replays=%zu\n",
+              pieces, survivors, exec.checkpointRestores(),
+              exec.elasticShrinks(), exec.taskReplays());
+
+  // Reference: the in-process backend on the *same problem* (the app's
+  // world size is fixed by the original piece count) executed at the
+  // surviving piece count — the plan is machine-size-agnostic.
+  apps::SpmvApp ref(spmvParams(pieces));
+  apps::SimSetup refSetup = ref.autoSetup();
+  runtime::ExecOptions refOpts;
+  refOpts.threads = 1;
+  runtime::PlanExecutor refExec(ref.world(), refSetup.plan, survivors,
+                                refOpts);
+  for (int s = 0; s < steps; ++s) refExec.run();
+
+  const std::size_t bad = diffWorlds(ref.world(), multi.world());
+  if (!ckpt.empty()) {
+    std::error_code ec;
+    fs::remove_all(ckpt, ec);
+  }
+  if (killNode >= 0 && exec.elasticShrinks() != 1) {
+    std::printf("FAIL: expected exactly one elastic shrink\n");
+    return 1;
+  }
+  if (bad != 0) {
+    std::printf("FAIL: %zu cells differ from the in-process backend\n", bad);
+    return 1;
+  }
+  std::printf("OK: bitwise identical to in-process at %zu pieces%s\n",
+              survivors,
+              killNode >= 0 ? " after real SIGKILL recovery" : "");
+  return 0;
+}
+
+/// Runs `plan` on the multi-process backend for `steps` steps and prints,
+/// per loop, the sim's predicted ghost volume against the measured
+/// steady-state refresh traffic of the final launch.
+void modelErrorFor(const char* name, region::World& world,
+                   apps::SimSetup& setup, std::size_t pieces, int steps) {
+  runtime::PlanExecutor exec(world, setup.plan, pieces, multiProcess());
+  for (int s = 0; s < steps; ++s) exec.run();
+
+  sim::ClusterSim sim(world, sim::MachineConfig{});
+  for (const auto& [r, o] : setup.owners) sim.setOwner(r, o);
+  const auto depths = sim::ClusterSim::depthsOf(setup.plan.dpl);
+
+  const auto& measured = exec.coordinator()->lastGhostTraffic();
+  for (const auto& loop : setup.plan.loops) {
+    const auto res = sim.simulateLoop(loop, setup.partitions, depths);
+    const auto it = measured.find(loop.loop->name);
+    const std::uint64_t gotElems = it == measured.end() ? 0 : it->second.first;
+    const std::uint64_t gotMsgs = it == measured.end() ? 0 : it->second.second;
+    const double simElems = static_cast<double>(res.totalGhostElems);
+    const double err =
+        std::abs(simElems - static_cast<double>(gotElems)) /
+        std::max({simElems, static_cast<double>(gotElems), 1.0});
+    std::printf("%-10s %-14s sim_ghost_elems=%lld measured_elems=%llu "
+                "measured_msgs=%llu rel_err=%.3f\n",
+                name, loop.loop->name.c_str(),
+                static_cast<long long>(res.totalGhostElems),
+                static_cast<unsigned long long>(gotElems),
+                static_cast<unsigned long long>(gotMsgs), err);
+  }
+}
+
+int modelErrorMode(std::size_t pieces, int steps) {
+  {
+    apps::SpmvApp app(spmvParams(pieces));
+    apps::SimSetup setup = app.autoSetup();
+    modelErrorFor("spmv", app.world(), setup, pieces, steps);
+  }
+  {
+    apps::StencilApp::Params p;
+    p.rowsPerPiece = 64;
+    p.cols = 64;
+    p.pieces = pieces;
+    apps::StencilApp app(p);
+    apps::SimSetup setup = app.autoSetup();
+    modelErrorFor("stencil", app.world(), setup, pieces, steps);
+  }
+  std::printf("OK: model-error report complete\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t pieces = 4;
+  int steps = 3;
+  int killNode = -1;
+  bool modelError = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pieces") == 0 && i + 1 < argc) {
+      pieces = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--kill-node") == 0 && i + 1 < argc) {
+      killNode = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--model-error") == 0) {
+      modelError = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--pieces N] [--steps S] [--kill-node K] "
+                   "[--model-error]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return modelError ? modelErrorMode(pieces, steps)
+                    : smokeMode(pieces, steps, killNode);
+}

@@ -1,10 +1,9 @@
 #include "dpl/evaluator.hpp"
 
-#include <chrono>
-#include <thread>
 #include <utility>
 
 #include "support/check.hpp"
+#include "support/sleep.hpp"
 #include "support/timer.hpp"
 
 namespace dpart::dpl {
@@ -156,12 +155,7 @@ Partition Evaluator::evalMemo(const ExprPtr& expr) const {
           // operator's wall time), so per-op timings in the bench JSON stay
           // comparable between faulty and fault-free runs.
           counters_.injectedStallMicros += fault->stragglerMicros;
-          if (sleepHook_) {
-            sleepHook_(fault->stragglerMicros);
-          } else {
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(fault->stragglerMicros));
-          }
+          sleepOrHook(sleepHook_, fault->stragglerMicros);
           break;
         case FaultKind::Poison:
           poison = true;

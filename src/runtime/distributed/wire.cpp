@@ -1,0 +1,317 @@
+#include "runtime/distributed/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "region/snapshot.hpp"
+#include "support/check.hpp"
+
+namespace dpart::runtime::dist {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 4> kMagic = {'D', 'P', 'M', 'G'};
+// Header: magic[4] | type u8 | payload size u64 | crc32 u32.
+constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4;
+
+void putU32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void putU64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t getU32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t getU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[i]) << (8 * i);
+  return v;
+}
+
+[[noreturn]] void transportFail(std::size_t node, const std::string& what) {
+  ErrorContext ctx;
+  ctx.piece = -1;
+  throw TransportError(node, "transport: " + what + " (node " +
+                                 std::to_string(node) + ")",
+                       std::move(ctx));
+}
+
+std::uint64_t nowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Reads exactly n bytes under the deadline. Returns false on EOF before
+/// the first byte when allowEof; throws TransportError otherwise.
+bool readFully(int fd, std::uint8_t* buf, std::size_t n,
+               std::uint64_t timeoutMicros, std::size_t node, bool allowEof) {
+  const std::uint64_t deadline =
+      timeoutMicros == 0 ? 0 : nowMicros() + timeoutMicros;
+  std::size_t got = 0;
+  while (got < n) {
+    int waitMs = -1;
+    if (deadline != 0) {
+      const std::uint64_t now = nowMicros();
+      if (now >= deadline) {
+        transportFail(node, "recv timed out after " +
+                                std::to_string(timeoutMicros) + "us (" +
+                                std::to_string(got) + "/" +
+                                std::to_string(n) + " bytes)");
+      }
+      waitMs = static_cast<int>((deadline - now) / 1000 + 1);
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, waitMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      transportFail(node, std::string("poll: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;  // re-check the deadline
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      transportFail(node, std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && allowEof) return false;
+      transportFail(node, "peer closed mid-frame (" + std::to_string(got) +
+                              "/" + std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void writeFully(int fd, const std::uint8_t* buf, std::size_t n,
+                std::size_t node) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE (-> TransportError) instead of
+    // killing the process with SIGPIPE.
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      transportFail(node, std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+void writeSlices(BinaryWriter& w, const std::vector<FieldSlice>& slices) {
+  w.u64(slices.size());
+  for (const FieldSlice& s : slices) {
+    w.str(s.region);
+    w.str(s.field);
+    region::writeIndexSet(w, s.indices);
+    DPART_CHECK(s.values.size() ==
+                    static_cast<std::size_t>(s.indices.size()),
+                "field slice value/index count mismatch");
+    for (double v : s.values) w.f64(v);
+  }
+}
+
+std::vector<FieldSlice> readSlices(BinaryReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<FieldSlice> slices;
+  slices.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FieldSlice s;
+    s.region = r.str();
+    s.field = r.str();
+    s.indices = region::readIndexSet(r);
+    s.values.reserve(static_cast<std::size_t>(s.indices.size()));
+    for (region::Index k = 0; k < s.indices.size(); ++k) {
+      s.values.push_back(r.f64());
+    }
+    slices.push_back(std::move(s));
+  }
+  return slices;
+}
+
+}  // namespace
+
+const char* toString(MsgType t) {
+  switch (t) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::Task: return "Task";
+    case MsgType::Result: return "Result";
+    case MsgType::TaskError: return "TaskError";
+    case MsgType::Ping: return "Ping";
+    case MsgType::Pong: return "Pong";
+    case MsgType::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+void sendFrame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+               std::size_t node, NetCounters* counters,
+               const std::function<void(std::vector<std::uint8_t>&)>& tamper) {
+  std::vector<std::uint8_t> frame(kHeaderSize + payload.size());
+  std::memcpy(frame.data(), kMagic.data(), kMagic.size());
+  frame[4] = static_cast<std::uint8_t>(type);
+  putU64(frame.data() + 5, payload.size());
+  putU32(frame.data() + 13, crc32(payload));
+  if (tamper) {
+    // Silent-corruption model, as in writeFramedFile: the checksum was
+    // computed from the intact payload, then the bytes on the wire are
+    // damaged — the receiver must catch the mismatch.
+    std::vector<std::uint8_t> damaged(payload.begin(), payload.end());
+    tamper(damaged);
+    damaged.resize(payload.size());  // tamper may not change the length
+    std::memcpy(frame.data() + kHeaderSize, damaged.data(), damaged.size());
+  } else if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  writeFully(fd, frame.data(), frame.size(), node);
+  if (counters != nullptr) {
+    counters->bytesSent += frame.size();
+    ++counters->messagesSent;
+  }
+}
+
+std::optional<Frame> recvFrame(int fd, std::uint64_t timeoutMicros,
+                               std::uint64_t maxFrameBytes, std::size_t node,
+                               NetCounters* counters) {
+  std::array<std::uint8_t, kHeaderSize> header;
+  if (!readFully(fd, header.data(), header.size(), timeoutMicros, node,
+                 /*allowEof=*/true)) {
+    return std::nullopt;
+  }
+  if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0) {
+    transportFail(node, "bad frame magic");
+  }
+  const std::uint8_t type = header[4];
+  if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
+      type > static_cast<std::uint8_t>(MsgType::Shutdown)) {
+    transportFail(node, "unknown frame type " + std::to_string(type));
+  }
+  const std::uint64_t size = getU64(header.data() + 5);
+  // Cap check BEFORE the allocation the declared size would drive.
+  if (size > maxFrameBytes) {
+    transportFail(node, "frame declares " + std::to_string(size) +
+                            " payload bytes, exceeding the " +
+                            std::to_string(maxFrameBytes) + "-byte cap");
+  }
+  const std::uint32_t want = getU32(header.data() + 13);
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(static_cast<std::size_t>(size));
+  if (size > 0) {
+    readFully(fd, frame.payload.data(), frame.payload.size(), timeoutMicros,
+              node, /*allowEof=*/false);
+  }
+  if (crc32(frame.payload) != want) {
+    transportFail(node, std::string("frame failed CRC32 check (") +
+                            toString(frame.type) + ")");
+  }
+  if (counters != nullptr) {
+    counters->bytesRecv += kHeaderSize + frame.payload.size();
+    ++counters->messagesRecv;
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> encodeTask(const TaskMsg& m) {
+  BinaryWriter w;
+  w.u64(m.seq);
+  w.str(m.loop);
+  w.u64(m.piece);
+  writeSlices(w, m.refresh);
+  return w.take();
+}
+
+TaskMsg decodeTask(BinaryReader& r) {
+  TaskMsg m;
+  m.seq = r.u64();
+  m.loop = r.str();
+  m.piece = r.u64();
+  m.refresh = readSlices(r);
+  r.expectEnd();
+  return m;
+}
+
+std::vector<std::uint8_t> encodeResult(const ResultMsg& m) {
+  BinaryWriter w;
+  w.u64(m.seq);
+  w.u64(m.piece);
+  writeSlices(w, m.writes);
+  w.u64(m.reduces.size());
+  for (const ReduceSlice& rs : m.reduces) {
+    w.i64(rs.stmtId);
+    w.u8(rs.op);
+    w.u64(rs.entries.size());
+    for (const auto& [target, value] : rs.entries) {
+      w.i64(target);
+      w.f64(value);
+    }
+  }
+  w.f64(m.taskSeconds);
+  return w.take();
+}
+
+ResultMsg decodeResult(BinaryReader& r) {
+  ResultMsg m;
+  m.seq = r.u64();
+  m.piece = r.u64();
+  m.writes = readSlices(r);
+  const std::uint64_t nReduces = r.u64();
+  m.reduces.reserve(static_cast<std::size_t>(nReduces));
+  for (std::uint64_t i = 0; i < nReduces; ++i) {
+    ReduceSlice rs;
+    rs.stmtId = r.i64();
+    rs.op = r.u8();
+    const std::uint64_t nEntries = r.u64();
+    rs.entries.reserve(static_cast<std::size_t>(nEntries));
+    for (std::uint64_t k = 0; k < nEntries; ++k) {
+      const region::Index target = r.i64();
+      const double value = r.f64();
+      rs.entries.emplace_back(target, value);
+    }
+    m.reduces.push_back(std::move(rs));
+  }
+  m.taskSeconds = r.f64();
+  r.expectEnd();
+  return m;
+}
+
+std::vector<std::uint8_t> encodeTaskError(const TaskErrorMsg& m) {
+  BinaryWriter w;
+  w.u64(m.seq);
+  w.u64(m.piece);
+  w.str(m.kind);
+  w.str(m.what);
+  return w.take();
+}
+
+TaskErrorMsg decodeTaskError(BinaryReader& r) {
+  TaskErrorMsg m;
+  m.seq = r.u64();
+  m.piece = r.u64();
+  m.kind = r.str();
+  m.what = r.str();
+  r.expectEnd();
+  return m;
+}
+
+std::uint64_t sliceElements(const std::vector<FieldSlice>& s) {
+  std::uint64_t total = 0;
+  for (const FieldSlice& slice : s) {
+    total += static_cast<std::uint64_t>(slice.indices.size());
+  }
+  return total;
+}
+
+}  // namespace dpart::runtime::dist

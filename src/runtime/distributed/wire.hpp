@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "region/index_set.hpp"
+#include "support/serialize.hpp"
+
+namespace dpart::runtime::dist {
+
+/// Wire protocol of the multi-process backend (docs/distributed-backend.md).
+///
+/// Every message travels as one frame on an AF_UNIX stream socket:
+///
+///   magic[4] "DPMG" | type u8 | payload size u64 | crc32 u32 | payload
+///
+/// — the same header discipline as the durable checkpoint framing
+/// (support/serialize.hpp), reusing its CRC-32 and the bounds-checked
+/// BinaryReader for payload decoding. The declared payload size is checked
+/// against a configurable cap BEFORE any buffer is sized from it, and all
+/// reads run under a poll(2) deadline, so a corrupt or hostile peer can
+/// cause neither an unbounded allocation nor an unbounded hang.
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,      ///< worker -> coordinator: ready (nodeId, epoch)
+  Task = 2,       ///< coordinator -> worker: refresh slices + launch order
+  Result = 3,     ///< worker -> coordinator: write-back slices + buffers
+  TaskError = 4,  ///< worker -> coordinator: task raised a taxonomy error
+  Ping = 5,       ///< coordinator -> worker (control channel)
+  Pong = 6,       ///< worker -> coordinator (control channel)
+  Shutdown = 7,   ///< coordinator -> worker: exit cleanly
+};
+
+[[nodiscard]] const char* toString(MsgType t);
+
+/// One received frame.
+struct Frame {
+  MsgType type = MsgType::Hello;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Send/receive tallies of one endpoint (coordinator keeps one per run and
+/// publishes it as the executor.net.* metrics).
+struct NetCounters {
+  std::uint64_t bytesSent = 0;
+  std::uint64_t bytesRecv = 0;
+  std::uint64_t messagesSent = 0;
+  std::uint64_t messagesRecv = 0;
+};
+
+/// Writes one frame to `fd`. `node` only labels the TransportError thrown
+/// on a send failure (EPIPE to a dead worker, etc.). `tamper`, when set, is
+/// applied to a copy of the payload AFTER the checksum is computed — the
+/// hook "net:" Poison fault sites use to put a genuinely corrupt frame on
+/// the wire that the receiver must reject by CRC.
+void sendFrame(int fd, MsgType type, std::span<const std::uint8_t> payload,
+               std::size_t node, NetCounters* counters = nullptr,
+               const std::function<void(std::vector<std::uint8_t>&)>& tamper =
+                   {});
+
+/// Reads one frame from `fd` under a deadline. Returns std::nullopt on a
+/// clean EOF at a frame boundary (peer closed between messages). Throws
+/// TransportError(node) on: poll timeout (`timeoutMicros`; 0 = wait
+/// forever), EOF mid-frame, socket error, bad magic, unknown type, a
+/// declared payload size above `maxFrameBytes` (checked before
+/// allocation), or CRC mismatch.
+[[nodiscard]] std::optional<Frame> recvFrame(int fd,
+                                             std::uint64_t timeoutMicros,
+                                             std::uint64_t maxFrameBytes,
+                                             std::size_t node,
+                                             NetCounters* counters = nullptr);
+
+/// One (region, field) slice of F64 column data with its index set —
+/// the unit of both ghost refresh (coordinator -> worker) and write-back
+/// (worker -> coordinator). Values are bit-exact: doubles travel as their
+/// IEEE-754 bit patterns (BinaryWriter::f64), which is what makes the
+/// multi-process backend bitwise identical to the in-process one.
+struct FieldSlice {
+  std::string region;
+  std::string field;
+  region::IndexSet indices;
+  std::vector<double> values;  ///< one per index, in ascending index order
+};
+
+/// Launch order for one task (Task payload).
+struct TaskMsg {
+  std::uint64_t seq = 0;    ///< launch sequence number, echoed by Result
+  std::string loop;         ///< planned loop name
+  std::uint64_t piece = 0;  ///< task index j
+  std::vector<FieldSlice> refresh;  ///< stale cells to overwrite before run
+};
+
+/// One reduce statement's buffered contributions (Result payload).
+struct ReduceSlice {
+  std::int64_t stmtId = 0;
+  std::uint8_t op = 0;  ///< ir::ReduceOp
+  /// (target, accumulated value), sorted by target — the order the
+  /// in-process merge applies.
+  std::vector<std::pair<region::Index, double>> entries;
+};
+
+/// Task outcome (Result payload).
+struct ResultMsg {
+  std::uint64_t seq = 0;
+  std::uint64_t piece = 0;
+  std::vector<FieldSlice> writes;  ///< the task's in-place write footprint
+  std::vector<ReduceSlice> reduces;  ///< sorted by stmtId
+  double taskSeconds = 0;  ///< worker-side thread CPU seconds
+};
+
+/// Task raised a taxonomy error worker-side (TaskError payload).
+struct TaskErrorMsg {
+  std::uint64_t seq = 0;
+  std::uint64_t piece = 0;
+  std::string kind;  ///< "PartitionViolation", "TaskFailure", "Error", ...
+  std::string what;  ///< full message (ErrorContext already rendered in)
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encodeTask(const TaskMsg& m);
+[[nodiscard]] TaskMsg decodeTask(BinaryReader& r);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeResult(const ResultMsg& m);
+[[nodiscard]] ResultMsg decodeResult(BinaryReader& r);
+
+[[nodiscard]] std::vector<std::uint8_t> encodeTaskError(const TaskErrorMsg& m);
+[[nodiscard]] TaskErrorMsg decodeTaskError(BinaryReader& r);
+
+/// Total elements across a set of slices (ghost-traffic accounting).
+[[nodiscard]] std::uint64_t sliceElements(const std::vector<FieldSlice>& s);
+
+}  // namespace dpart::runtime::dist

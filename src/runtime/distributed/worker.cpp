@@ -1,0 +1,185 @@
+#include "runtime/distributed/worker.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "runtime/distributed/wire.hpp"
+#include "runtime/task_exec.hpp"
+#include "support/check.hpp"
+#include "support/timer.hpp"
+
+namespace dpart::runtime::dist {
+
+namespace {
+
+using region::Index;
+using region::IndexSet;
+
+/// Blocks until `fd` is readable or hung up (no deadline: idle waits
+/// between frames are the coordinator's to supervise, via heartbeats).
+void waitReadable(int fd) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, -1) >= 0) return;
+    if (errno != EINTR) return;  // recv will surface the error
+  }
+}
+
+/// Answers Pings on the control channel until EOF. Runs on its own thread
+/// so a worker grinding through a long task still proves it is alive.
+void heartbeatLoop(const WorkerConfig& cfg) {
+  try {
+    for (;;) {
+      waitReadable(cfg.controlFd);
+      auto frame = recvFrame(cfg.controlFd, cfg.recvTimeoutMicros,
+                             cfg.maxFrameBytes, cfg.nodeId);
+      if (!frame.has_value()) return;  // coordinator closed the channel
+      if (frame->type == MsgType::Ping) {
+        sendFrame(cfg.controlFd, MsgType::Pong, frame->payload, cfg.nodeId);
+      } else if (frame->type == MsgType::Shutdown) {
+        return;
+      }
+    }
+  } catch (...) {
+    // A broken control channel is not fatal by itself: the data channel
+    // decides the worker's fate, and a silent worker is killed by the
+    // coordinator's heartbeat timeout anyway.
+  }
+}
+
+/// Overwrites the worker's stale cells with the coordinator's
+/// authoritative values (the explicit ghost-region exchange).
+void applyRefresh(region::World& world,
+                  const std::vector<FieldSlice>& refresh) {
+  for (const FieldSlice& s : refresh) {
+    auto column = world.region(s.region).f64(s.field);
+    std::size_t k = 0;
+    s.indices.forEach([&](Index i) {
+      column[static_cast<std::size_t>(i)] = s.values[k++];
+    });
+  }
+}
+
+const parallelize::PlannedLoop* findLoop(const parallelize::ParallelPlan& plan,
+                                         const std::string& name) {
+  for (const parallelize::PlannedLoop& pl : plan.loops) {
+    if (pl.loop->name == name) return &pl;
+  }
+  return nullptr;
+}
+
+/// Runs one task with exactly the in-process executor's machinery
+/// (runtime/task_exec) and packages its observable effect: the in-place
+/// write footprint's values plus the buffered-reduction contributions.
+ResultMsg runTask(const WorkerConfig& cfg, const TaskMsg& task) {
+  const ThreadCpuTimer timer;
+  const parallelize::PlannedLoop* loop = findLoop(*cfg.plan, task.loop);
+  DPART_CHECK(loop != nullptr, "worker has no loop named '" + task.loop + "'");
+  const std::size_t j = static_cast<std::size_t>(task.piece);
+  const auto& env = *cfg.env;
+  const region::Partition& iter = env.at(loop->iterPartition);
+  DPART_CHECK(j < iter.count(), "task piece out of range");
+
+  applyRefresh(*cfg.world, task.refresh);
+
+  // Ownership guards, hooks and footprints are derived exactly as in the
+  // in-process path — from the same (fork-inherited) partitions, so both
+  // backends make identical write/skip decisions.
+  std::vector<IndexSet> ownership;
+  const bool needOwnership = hasCenteredWrite(*loop) && !iter.isDisjoint();
+  if (needOwnership) ownership = disjointify(iter);
+  const IndexSet* own = needOwnership ? &ownership[j] : nullptr;
+
+  TaskFootprint footprint = buildFootprint(*cfg.world, *loop, j, env, own);
+  TaskHooks hooks(*loop, j, env, cfg.validateAccesses, own);
+  ir::LoopRunner runner(*cfg.world, *loop->loop);
+  runner.run(iter.sub(j), &hooks);
+
+  ResultMsg result;
+  result.seq = task.seq;
+  result.piece = task.piece;
+  for (const TaskFootprint::Patch& p : footprint.patches()) {
+    FieldSlice slice;
+    slice.region = p.region;
+    slice.field = p.field;
+    slice.indices = p.indices;
+    slice.values.reserve(static_cast<std::size_t>(p.indices.size()));
+    p.indices.forEach([&](Index i) {
+      slice.values.push_back(p.column[static_cast<std::size_t>(i)]);
+    });
+    result.writes.push_back(std::move(slice));
+  }
+  // reduces() is a std::map keyed by stmt id, so slices arrive sorted the
+  // way the deterministic merge iterates them.
+  for (auto& [stmtId, st] : hooks.reduces()) {
+    if (st.buffer.empty()) continue;
+    ReduceSlice rs;
+    rs.stmtId = stmtId;
+    rs.op = static_cast<std::uint8_t>(st.op);
+    rs.entries.assign(st.buffer.begin(), st.buffer.end());
+    std::sort(rs.entries.begin(), rs.entries.end());
+    result.reduces.push_back(std::move(rs));
+  }
+  result.taskSeconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+int workerMain(const WorkerConfig& cfg) {
+  std::thread heartbeat([&cfg] { heartbeatLoop(cfg); });
+  // The process exits via _exit(), which tears the thread down with the
+  // address space; there is no clean-join handshake to get wrong.
+  heartbeat.detach();
+
+  try {
+    for (;;) {
+      waitReadable(cfg.dataFd);
+      auto frame = recvFrame(cfg.dataFd, cfg.recvTimeoutMicros,
+                             cfg.maxFrameBytes, cfg.nodeId);
+      if (!frame.has_value()) return 0;  // coordinator went away: fold
+      if (frame->type == MsgType::Shutdown) return 0;
+      if (frame->type != MsgType::Task) {
+        // Protocol confusion is unrecoverable worker-side; die loudly and
+        // let the coordinator's retry/escalation policy decide.
+        return 2;
+      }
+      TaskMsg task;
+      try {
+        BinaryReader r(frame->payload);
+        task = decodeTask(r);
+      } catch (const CheckpointCorruption&) {
+        return 2;  // malformed Task payload that passed CRC: give up
+      }
+      try {
+        const ResultMsg result = runTask(cfg, task);
+        sendFrame(cfg.dataFd, MsgType::Result, encodeResult(result),
+                  cfg.nodeId);
+      } catch (const PartitionViolation& e) {
+        TaskErrorMsg err{task.seq, task.piece, "PartitionViolation", e.what()};
+        sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
+                  cfg.nodeId);
+      } catch (const TaskFailure& e) {
+        TaskErrorMsg err{task.seq, task.piece, "TaskFailure", e.what()};
+        sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
+                  cfg.nodeId);
+      } catch (const Error& e) {
+        TaskErrorMsg err{task.seq, task.piece, "Error", e.what()};
+        sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
+                  cfg.nodeId);
+      }
+    }
+  } catch (const TransportError&) {
+    return 2;
+  } catch (...) {
+    return 2;
+  }
+}
+
+}  // namespace dpart::runtime::dist

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::runtime::dist {
+
+/// Everything a forked worker process needs to run tasks. All pointers
+/// refer to the coordinator's objects, which the worker owns for free after
+/// fork(): the child's copy-on-write address space carries the World's full
+/// field data, the compiled plan and the evaluated partition environment —
+/// the "shard arrives by fork" transport of the process model
+/// (docs/distributed-backend.md). The coordinator re-forks workers whenever
+/// partitions are re-evaluated (restore, shrink, rebalance), so a worker's
+/// view of `env` is immutable for its lifetime.
+struct WorkerConfig {
+  region::World* world = nullptr;
+  const parallelize::ParallelPlan* plan = nullptr;
+  const std::map<std::string, region::Partition>* env = nullptr;
+  bool validateAccesses = false;
+  std::uint64_t nodeId = 0;
+  int dataFd = -1;     ///< Task/Result/TaskError/Shutdown
+  int controlFd = -1;  ///< Ping/Pong (answered by a dedicated thread, so
+                       ///< liveness probes succeed during long tasks)
+  std::uint64_t maxFrameBytes = 0;
+  std::uint64_t recvTimeoutMicros = 0;  ///< mid-frame deadline; idle waits
+                                        ///< between frames are unbounded
+};
+
+/// Body of a worker process. Runs until a Shutdown frame or data-channel
+/// EOF (exit code 0), or a transport/internal failure (exit code 2). The
+/// caller must pass the return value to _exit() immediately — a forked
+/// child must never return into the parent's stack (test harnesses, atexit
+/// handlers).
+[[nodiscard]] int workerMain(const WorkerConfig& config);
+
+}  // namespace dpart::runtime::dist

@@ -1,13 +1,13 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <limits>
 #include <memory>
-#include <thread>
 #include <unordered_map>
 
+#include "runtime/distributed/coordinator.hpp"
+#include "runtime/task_exec.hpp"
 #include "support/check.hpp"
+#include "support/sleep.hpp"
 #include "support/timer.hpp"
 
 namespace dpart::runtime {
@@ -51,6 +51,8 @@ PlanExecutor::PlanExecutor(region::World& world,
   }
 }
 
+PlanExecutor::~PlanExecutor() = default;
+
 void PlanExecutor::countError(const char* kind) const {
   if (options_.observability.metrics != nullptr) {
     options_.observability.metrics->counter("errorsTotal", {{"kind", kind}})
@@ -84,12 +86,7 @@ void PlanExecutor::bindExternal(const std::string& name,
 }
 
 void PlanExecutor::sleepFor(std::uint64_t micros) const {
-  if (micros == 0) return;
-  if (options_.resilience.sleepMicros) {
-    options_.resilience.sleepMicros(micros);
-  } else {
-    std::this_thread::sleep_for(std::chrono::microseconds(micros));
-  }
+  sleepOrHook(options_.resilience.sleepMicros, micros);
 }
 
 void PlanExecutor::preparePartitions() {
@@ -112,6 +109,10 @@ void PlanExecutor::preparePartitions() {
     throw;
   }
   prepared_ = true;
+  // Any re-evaluation (first prepare, restore, shrink, rebalance) advances
+  // the epoch; the distributed backend respawns its fork-inherited worker
+  // fleet when it observes a new value.
+  ++prepareEpoch_;
   if (options_.verifyPartitions) verifyPartitions();
 }
 
@@ -131,259 +132,6 @@ const Partition& PlanExecutor::partition(const std::string& name) const {
   DPART_CHECK(prepared_, "partitions not prepared");
   return evaluator_.partition(name);
 }
-
-namespace {
-
-// Per-task execution hooks implementing the plan's reduction strategies and
-// (optionally) access validation.
-class TaskHooks final : public ir::ExecHooks {
- public:
-  struct ReduceState {
-    ReduceStrategy strategy = ReduceStrategy::Direct;
-    const IndexSet* guard = nullptr;    // Guarded: task's reduction subregion
-    const IndexSet* privSet = nullptr;  // PrivateSplit: private subregion
-    std::unordered_map<Index, double> buffer;
-    ir::ReduceOp op = ir::ReduceOp::Sum;
-  };
-
-  TaskHooks(const parallelize::PlannedLoop& loop, std::size_t piece,
-            const std::map<std::string, Partition>& env, bool validate,
-            const IndexSet* ownership)
-      : loop_(loop), piece_(piece), env_(env), validate_(validate),
-        ownership_(ownership) {
-    for (const auto& [stmtId, rp] : loop.reduces) {
-      ReduceState st;
-      st.strategy = rp.strategy;
-      if (rp.strategy == ReduceStrategy::Guarded) {
-        st.guard = &env.at(rp.partition).sub(piece);
-      } else if (rp.strategy == ReduceStrategy::PrivateSplit) {
-        st.privSet = &env.at(rp.privatePart).sub(piece);
-      }
-      reduces_.emplace(stmtId, std::move(st));
-    }
-  }
-
-  void onAccess(const ir::Stmt& stmt, Index target) override {
-    if (!validate_) return;
-    auto it = loop_.accessPartition.find(stmt.id);
-    if (it == loop_.accessPartition.end()) {
-      ErrorContext ctx;
-      ctx.loop = loop_.loop->name;
-      ctx.stmtId = stmt.id;
-      ctx.piece = static_cast<int>(piece_);
-      throw PartitionViolation(
-          "access with no assigned partition: " + stmt.toString(),
-          std::move(ctx));
-    }
-    const IndexSet& sub = env_.at(it->second).sub(piece_);
-    // Guarded reductions may compute targets outside the task's subregion;
-    // the guard rejects them before any memory access, so only *applied*
-    // accesses are checked (handled in handleReduce).
-    auto rit = reduces_.find(stmt.id);
-    if (rit != reduces_.end() &&
-        (rit->second.strategy == ReduceStrategy::Guarded)) {
-      return;
-    }
-    if (!sub.contains(target)) {
-      ErrorContext ctx;
-      ctx.loop = loop_.loop->name;
-      ctx.partition = it->second;
-      ctx.field = stmt.region + "." + stmt.field;
-      ctx.stmtId = stmt.id;
-      ctx.index = target;
-      ctx.piece = static_cast<int>(piece_);
-      throw PartitionViolation(
-          "illegal access: " + stmt.toString() + " touches index " +
-              std::to_string(target) + " outside subregion " +
-              std::to_string(piece_) + " of " + it->second,
-          std::move(ctx));
-    }
-  }
-
-  bool shouldWrite(const ir::Stmt&, Index target) override {
-    return ownership_ == nullptr || ownership_->contains(target);
-  }
-
-  bool handleReduce(const ir::Stmt& stmt, Index target,
-                    double value) override {
-    auto it = reduces_.find(stmt.id);
-    if (it == reduces_.end()) {
-      // Centered reduction: ownership-guarded under aliased iteration.
-      if (ownership_ != nullptr && !ownership_->contains(target)) {
-        return true;  // another task owns this duplicated iteration
-      }
-      return false;
-    }
-    ReduceState& st = it->second;
-    st.op = stmt.op;
-    switch (st.strategy) {
-      case ReduceStrategy::Direct:
-        return false;
-      case ReduceStrategy::Guarded:
-        return !st.guard->contains(target);  // skip if not ours
-      case ReduceStrategy::Buffered:
-        break;
-      case ReduceStrategy::PrivateSplit:
-        if (st.privSet->contains(target)) return false;
-        break;
-    }
-    auto [slot, inserted] =
-        st.buffer.try_emplace(target, ir::reduceIdentity(stmt.op));
-    slot->second = ir::applyReduce(stmt.op, slot->second, value);
-    return true;
-  }
-
-  std::map<int, ReduceState>& reduces() { return reduces_; }
-
- private:
-  const parallelize::PlannedLoop& loop_;
-  std::size_t piece_;
-  const std::map<std::string, Partition>& env_;
-  bool validate_;
-  const IndexSet* ownership_;
-  std::map<int, ReduceState> reduces_;
-};
-
-// Builds a first-claim disjointification of an aliased partition: index i is
-// owned by the lowest-numbered subregion containing it.
-std::vector<IndexSet> disjointify(const Partition& p) {
-  std::vector<IndexSet> owned;
-  owned.reserve(p.count());
-  IndexSet claimed;
-  for (std::size_t j = 0; j < p.count(); ++j) {
-    owned.push_back(p.sub(j).subtract(claimed));
-    claimed = claimed.unionWith(p.sub(j));
-  }
-  return owned;
-}
-
-/// One task's in-place write footprint: for every (region, field) the task
-/// may write in place, the exact index set and (once captured) the
-/// pre-execution values. Restoring the footprint undoes every partial
-/// effect of a failed attempt. The plan guarantees these sets are disjoint
-/// across tasks — stores target the (disjoint or ownership-guarded)
-/// iteration subregion, Direct reductions a provably disjoint partition,
-/// Guarded reductions their disjoint guard, PrivateSplit reductions the
-/// disjoint private sub-partition, and Buffered reductions touch nothing in
-/// place until the post-loop merge — so a restore never clobbers another
-/// task's completed work (DESIGN.md §7).
-class TaskFootprint {
- public:
-  void add(std::span<double> column, const std::string& key, IndexSet set) {
-    if (set.empty()) return;
-    auto [it, inserted] = byField_.try_emplace(key, patches_.size());
-    if (inserted) {
-      patches_.push_back(Patch{column, std::move(set), {}});
-    } else {
-      Patch& p = patches_[it->second];
-      p.indices = p.indices.unionWith(set);
-    }
-  }
-
-  /// Saves the current field values over the footprint.
-  void capture() {
-    for (Patch& p : patches_) {
-      p.saved.clear();
-      p.saved.reserve(static_cast<std::size_t>(p.indices.size()));
-      p.indices.forEach([&p](Index i) {
-        p.saved.push_back(p.column[static_cast<std::size_t>(i)]);
-      });
-    }
-  }
-
-  /// Restores the captured values (capture() must have run).
-  void restore() const {
-    for (const Patch& p : patches_) {
-      std::size_t k = 0;
-      p.indices.forEach([&p, &k](Index i) {
-        p.column[static_cast<std::size_t>(i)] = p.saved[k++];
-      });
-    }
-  }
-
-  /// Overwrites the footprint with garbage — the worst state a dying task
-  /// can leave behind without breaking write isolation.
-  void poison() const {
-    for (const Patch& p : patches_) {
-      p.indices.forEach([&p](Index i) {
-        p.column[static_cast<std::size_t>(i)] =
-            std::numeric_limits<double>::quiet_NaN();
-      });
-    }
-  }
-
- private:
-  struct Patch {
-    std::span<double> column;
-    IndexSet indices;
-    std::vector<double> saved;
-  };
-
-  std::map<std::string, std::size_t> byField_;
-  std::vector<Patch> patches_;
-};
-
-/// Collects task j's in-place write footprint from the plan's metadata.
-TaskFootprint buildFootprint(region::World& world,
-                             const parallelize::PlannedLoop& loop,
-                             std::size_t j,
-                             const std::map<std::string, Partition>& env,
-                             const IndexSet* ownership) {
-  TaskFootprint fp;
-  loop.loop->forEachStmt([&](const ir::Stmt& s) {
-    if (s.kind != ir::StmtKind::StoreF64 && s.kind != ir::StmtKind::ReduceF64)
-      return;
-    const IndexSet* set = nullptr;
-    IndexSet guarded;
-    auto rit = loop.reduces.find(s.id);
-    if (s.kind == ir::StmtKind::ReduceF64 && rit != loop.reduces.end()) {
-      switch (rit->second.strategy) {
-        case ReduceStrategy::Direct:
-          set = &env.at(loop.accessPartition.at(s.id)).sub(j);
-          break;
-        case ReduceStrategy::Guarded:
-          set = &env.at(rit->second.partition).sub(j);
-          break;
-        case ReduceStrategy::Buffered:
-          return;  // task-local buffer; nothing written in place
-        case ReduceStrategy::PrivateSplit:
-          set = &env.at(rit->second.privatePart).sub(j);
-          break;
-      }
-    } else {
-      // Centered store / centered reduction: the task writes its iteration
-      // subregion, narrowed to its ownership set under aliased iteration.
-      const IndexSet& acc = env.at(loop.accessPartition.at(s.id)).sub(j);
-      if (ownership != nullptr) {
-        guarded = acc.intersectWith(*ownership);
-        set = &guarded;
-      } else {
-        set = &acc;
-      }
-    }
-    fp.add(world.region(s.region).f64(s.field), s.region + "." + s.field,
-           *set);
-  });
-  return fp;
-}
-
-/// Deterministic prefix of an index set holding ~frac of its elements, in
-/// iteration order — the part of a task that "ran before the node died".
-IndexSet prefixOf(const IndexSet& iters, double frac) {
-  const Index want = static_cast<Index>(
-      static_cast<double>(iters.size()) * std::clamp(frac, 0.0, 1.0));
-  region::IndexSetBuilder builder;
-  Index taken = 0;
-  for (const region::Run& r : iters.runs()) {
-    if (taken >= want) break;
-    const Index take = std::min(r.size(), want - taken);
-    builder.addRun(r.lo, r.lo + take);
-    taken += take;
-  }
-  return builder.build();
-}
-
-}  // namespace
 
 std::vector<region::PartitionExpectation> planExpectations(
     const parallelize::ParallelPlan& plan, std::size_t pieces) {
@@ -506,17 +254,15 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   DPART_CHECK(iter.count() == pieces_,
               "iteration partition piece count mismatch");
 
+  if (options_.distributed.backend == ExecBackend::MultiProcess) {
+    runLoopDistributed(loop, launchSpan);
+    return;
+  }
+
   // Ownership guards are only needed when duplicated iterations could apply
   // a centered write/reduction twice.
-  bool hasCenteredWrite = false;
-  loop.loop->forEachStmt([&](const ir::Stmt& s) {
-    if (s.kind == ir::StmtKind::StoreF64 ||
-        (s.kind == ir::StmtKind::ReduceF64 && !loop.reduces.contains(s.id))) {
-      hasCenteredWrite = true;
-    }
-  });
   std::vector<IndexSet> ownership;
-  const bool needOwnership = hasCenteredWrite && !iter.isDisjoint();
+  const bool needOwnership = hasCenteredWrite(loop) && !iter.isDisjoint();
   if (needOwnership) ownership = disjointify(iter);
 
   ir::LoopRunner runner(world_, *loop.loop);
@@ -702,21 +448,61 @@ void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
                       ",\"buffered_elements\":" +
                       std::to_string(bufferedElements_));
 
-  if (mx != nullptr) {
-    double total = 0;
-    double worst = 0;
-    for (std::size_t j = 0; j < pieces_; ++j) {
-      taskSecondsGauge(*mx, loop.loop->name, j).add(taskSeconds[j]);
-      total += taskSeconds[j];
-      worst = std::max(worst, taskSeconds[j]);
-    }
-    launchCounter(*mx, loop.loop->name).inc();
-    const double meanSec = total / static_cast<double>(pieces_);
-    const double imbalance = meanSec > 0 ? worst / meanSec : 1.0;
-    mx->gauge("executor.imbalance").set(imbalance);
-    mx->gauge("executor.imbalance", {{"loop", loop.loop->name}})
-        .set(imbalance);
+  if (mx != nullptr) publishLaunchMetrics(loop, taskSeconds);
+  if (rebalancer_ != nullptr) maybeRebalance(loop);
+}
+
+void PlanExecutor::publishLaunchMetrics(
+    const parallelize::PlannedLoop& loop,
+    const std::vector<double>& taskSeconds) const {
+  MetricsRegistry* mx = options_.observability.metrics;
+  if (mx == nullptr || taskSeconds.size() != pieces_) return;
+  double total = 0;
+  double worst = 0;
+  for (std::size_t j = 0; j < pieces_; ++j) {
+    taskSecondsGauge(*mx, loop.loop->name, j).add(taskSeconds[j]);
+    total += taskSeconds[j];
+    worst = std::max(worst, taskSeconds[j]);
   }
+  launchCounter(*mx, loop.loop->name).inc();
+  const double meanSec = total / static_cast<double>(pieces_);
+  const double imbalance = meanSec > 0 ? worst / meanSec : 1.0;
+  mx->gauge("executor.imbalance").set(imbalance);
+  mx->gauge("executor.imbalance", {{"loop", loop.loop->name}}).set(imbalance);
+}
+
+void PlanExecutor::runLoopDistributed(const parallelize::PlannedLoop& loop,
+                                      TraceSpan& launchSpan) {
+  if (coordinator_ == nullptr) {
+    coordinator_ = std::make_unique<dist::Coordinator>(world_, plan_,
+                                                       options_);
+  }
+  coordinator_->ensureWorkers(partitions(), liveNodes_, prepareEpoch_);
+  dist::LaunchStats stats;
+  try {
+    stats = coordinator_->runLoop(loop);
+  } catch (const NodeLossError&) {
+    countError("NodeLossError");
+    throw;
+  } catch (const PartitionViolation&) {
+    countError("PartitionViolation");
+    throw;
+  }
+  // The coordinator already counted TaskFailure / TransportError events (it
+  // sees each injected or wire-level failure, not just the escalations), so
+  // only the launch tallies are folded here.
+  replays_.fetch_add(stats.replays, std::memory_order_relaxed);
+  stallMicros_.fetch_add(stats.stallMicros, std::memory_order_relaxed);
+  bufferedElements_ += stats.bufferedElements;
+  if (options_.verifyPartitions && stats.replays > 0) verifyPartitions();
+  launchSpan.annotate("\"pieces\":" + std::to_string(pieces_) +
+                      ",\"replays\":" + std::to_string(stats.replays) +
+                      ",\"buffered_elements\":" +
+                      std::to_string(bufferedElements_) +
+                      ",\"ghost_elems\":" + std::to_string(stats.ghostElems) +
+                      ",\"ghost_messages\":" +
+                      std::to_string(stats.ghostMessages));
+  publishLaunchMetrics(loop, stats.taskSeconds);
   if (rebalancer_ != nullptr) maybeRebalance(loop);
 }
 

@@ -25,6 +25,11 @@
 
 namespace dpart::runtime {
 
+namespace dist {
+class Coordinator;
+struct LaunchStats;
+}  // namespace dist
+
 /// A node died for good (FaultKind::PermanentCrash on a "node:<id>" site, or
 /// a task that exhausted its replays and whose host is therefore presumed
 /// dead). Deliberately NOT a TaskFailure: in-place replay must not catch it —
@@ -73,6 +78,7 @@ class PlanExecutor {
  public:
   PlanExecutor(region::World& world, const parallelize::ParallelPlan& plan,
                std::size_t pieces, ExecOptions options = {});
+  ~PlanExecutor();  // out of line: owns the forward-declared Coordinator
 
   /// Binds an externally constructed partition (Section 3.3) before
   /// preparePartitions().
@@ -155,6 +161,12 @@ class PlanExecutor {
   /// every run(); exposed so Session / tests can force a flush.
   void publishMetrics() const;
 
+  /// The multi-process backend's coordinator, or nullptr when running
+  /// in-process (ExecBackend::InProcess) or before the first distributed
+  /// launch. Tests and the sim-validation tooling use it to read measured
+  /// wire traffic.
+  [[nodiscard]] dist::Coordinator* coordinator() { return coordinator_.get(); }
+
  private:
   /// Sleeps via ResilienceOptions::sleepMicros when set, for real otherwise.
   void sleepFor(std::uint64_t micros) const;
@@ -180,6 +192,17 @@ class PlanExecutor {
   [[nodiscard]] const dpl::Program& activeProgram() const {
     return rebalancedBases_.empty() ? plan_.dpl : activeDpl_;
   }
+
+  /// Runs one launch on the multi-process backend: syncs the worker fleet
+  /// with the current prepare epoch, delegates to the Coordinator, and
+  /// folds its LaunchStats into the executor's tallies.
+  void runLoopDistributed(const parallelize::PlannedLoop& loop,
+                          TraceSpan& launchSpan);
+
+  /// Publishes the per-piece task seconds and imbalance of one completed
+  /// launch (both backends report through this).
+  void publishLaunchMetrics(const parallelize::PlannedLoop& loop,
+                            const std::vector<double>& taskSeconds) const;
 
   /// Feeds the completed launch's per-piece times to the Rebalancer and,
   /// when the policy says so, swaps the loop's `equal` base for a weighted
@@ -217,6 +240,12 @@ class PlanExecutor {
   std::map<std::string, region::Partition> rebalancedBases_;
   dpl::Program activeDpl_;
   std::size_t rebalances_ = 0;
+  /// Lazily created when the first launch runs with
+  /// ExecBackend::MultiProcess.
+  std::unique_ptr<dist::Coordinator> coordinator_;
+  /// Bumped by every successful preparePartitions(): the Coordinator
+  /// respawns its fork-inherited worker fleet when this changes.
+  std::uint64_t prepareEpoch_ = 0;
   std::uint64_t planHash_ = 0;
   std::uint64_t launchesDone_ = 0;
   std::size_t checkpointRestores_ = 0;

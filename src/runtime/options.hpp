@@ -90,6 +90,48 @@ struct RebalancePolicy {
   double minTaskSeconds = 0;
 };
 
+/// Which execution backend runs a plan's loop launches.
+enum class ExecBackend {
+  /// Tasks run on a thread pool inside this process (the default; all
+  /// resilience faults are simulated in-address-space).
+  InProcess,
+  /// Tasks run on real forked worker processes over local sockets
+  /// (runtime/distributed): each node holds its own copy of the World,
+  /// ghost refreshes and reduction merges travel as framed messages, and
+  /// "node:<id>" fault sites SIGKILL the actual worker process.
+  MultiProcess,
+};
+
+/// Knobs of the multi-process backend (runtime/distributed). All sleeps the
+/// transport performs (reconnect backoff) are routed through
+/// ResilienceOptions::sleepMicros when set; heartbeat *timing* uses the
+/// real clock, since it measures the liveness of a separate process.
+struct DistributedOptions {
+  ExecBackend backend = ExecBackend::InProcess;
+  /// Coordinator pings each busy worker this often (microseconds).
+  std::uint64_t heartbeatIntervalMicros = 50'000;
+  /// A worker that answers no ping for this long is declared dead
+  /// (SIGKILLed and escalated like NodeLossError).
+  std::uint64_t heartbeatTimeoutMicros = 2'000'000;
+  /// Transient transport failures (unexpected worker death, socket error,
+  /// corrupt frame) tolerated per worker per launch before escalating to
+  /// node loss. Each retry respawns the worker from the coordinator's
+  /// authoritative state.
+  int maxReconnects = 2;
+  /// Base of the capped exponential reconnect backoff, microseconds
+  /// (attempt k sleeps min(base << k, maxBackoffMicros)).
+  std::uint64_t reconnectBackoffMicros = 1'000;
+  /// Cap on a single reconnect backoff sleep, microseconds.
+  std::uint64_t maxBackoffMicros = 200'000;
+  /// Largest wire-frame payload either side will accept; a corrupt length
+  /// prefix beyond this fails fast instead of attempting the allocation.
+  std::uint64_t maxFrameBytes = std::uint64_t{1} << 30;
+  /// Deadline for receiving one expected frame from a live worker,
+  /// microseconds. Distinct from the heartbeat timeout: this bounds how
+  /// long a *partial* frame may dribble in.
+  std::uint64_t recvTimeoutMicros = 10'000'000;
+};
+
 /// Execution options for PlanExecutor / Session, grouped by concern:
 /// scheduling and validation at the top level, with nested resilience,
 /// checkpoint and observability option sets.
@@ -107,6 +149,7 @@ struct ExecOptions {
   CheckpointOptions checkpoint;
   ObservabilityOptions observability;
   RebalancePolicy adaptive;
+  DistributedOptions distributed;
 };
 
 }  // namespace dpart::runtime

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "parallelize/parallelize.hpp"
+#include "region/partition.hpp"
+#include "region/world.hpp"
+
+namespace dpart::runtime {
+
+/// The per-task execution core shared by the in-process PlanExecutor and the
+/// multi-process distributed worker (runtime/distributed/worker). Both
+/// backends must run a task through *exactly* this machinery: the reduction
+/// strategies, ownership guards and footprint sets below define the task's
+/// observable effect, and the two backends are required to produce bitwise
+/// identical fields (tests/distributed_exec_test.cpp enforces it).
+
+/// Per-task execution hooks implementing the plan's reduction strategies and
+/// (optionally) access validation.
+class TaskHooks final : public ir::ExecHooks {
+ public:
+  struct ReduceState {
+    optimize::ReduceStrategy strategy = optimize::ReduceStrategy::Direct;
+    const region::IndexSet* guard = nullptr;  // Guarded: reduction subregion
+    const region::IndexSet* privSet = nullptr;  // PrivateSplit: private sub
+    std::unordered_map<region::Index, double> buffer;
+    ir::ReduceOp op = ir::ReduceOp::Sum;
+  };
+
+  TaskHooks(const parallelize::PlannedLoop& loop, std::size_t piece,
+            const std::map<std::string, region::Partition>& env, bool validate,
+            const region::IndexSet* ownership);
+
+  void onAccess(const ir::Stmt& stmt, region::Index target) override;
+  bool shouldWrite(const ir::Stmt&, region::Index target) override;
+  bool handleReduce(const ir::Stmt& stmt, region::Index target,
+                    double value) override;
+
+  /// Reduction state per reduce statement, keyed (and therefore iterated)
+  /// in ascending stmt id order — the order the buffer merge relies on.
+  std::map<int, ReduceState>& reduces() { return reduces_; }
+
+ private:
+  const parallelize::PlannedLoop& loop_;
+  std::size_t piece_;
+  const std::map<std::string, region::Partition>& env_;
+  bool validate_;
+  const region::IndexSet* ownership_;
+  std::map<int, ReduceState> reduces_;
+};
+
+/// One task's in-place write footprint: for every (region, field) the task
+/// may write in place, the exact index set and (once captured) the
+/// pre-execution values. Restoring the footprint undoes every partial
+/// effect of a failed attempt. The plan guarantees these sets are disjoint
+/// across tasks — stores target the (disjoint or ownership-guarded)
+/// iteration subregion, Direct reductions a provably disjoint partition,
+/// Guarded reductions their disjoint guard, PrivateSplit reductions the
+/// disjoint private sub-partition, and Buffered reductions touch nothing in
+/// place until the post-loop merge — so a restore never clobbers another
+/// task's completed work (DESIGN.md §7). The distributed worker ships the
+/// same sets back as its result: they are precisely the bytes the task is
+/// entitled to have changed.
+class TaskFootprint {
+ public:
+  struct Patch {
+    std::string region;
+    std::string field;
+    std::span<double> column;
+    region::IndexSet indices;
+    std::vector<double> saved;
+  };
+
+  void add(std::span<double> column, const std::string& regionName,
+           const std::string& field, region::IndexSet set);
+
+  /// Saves the current field values over the footprint.
+  void capture();
+
+  /// Restores the captured values (capture() must have run).
+  void restore() const;
+
+  /// Overwrites the footprint with garbage — the worst state a dying task
+  /// can leave behind without breaking write isolation.
+  void poison() const;
+
+  [[nodiscard]] const std::vector<Patch>& patches() const { return patches_; }
+
+ private:
+  std::map<std::string, std::size_t> byField_;
+  std::vector<Patch> patches_;
+};
+
+/// Collects task j's in-place write footprint from the plan's metadata.
+[[nodiscard]] TaskFootprint buildFootprint(
+    region::World& world, const parallelize::PlannedLoop& loop, std::size_t j,
+    const std::map<std::string, region::Partition>& env,
+    const region::IndexSet* ownership);
+
+/// Builds a first-claim disjointification of an aliased partition: index i
+/// is owned by the lowest-numbered subregion containing it.
+[[nodiscard]] std::vector<region::IndexSet> disjointify(
+    const region::Partition& p);
+
+/// Whether the loop has a centered write (store, or reduce with no planned
+/// strategy) that needs ownership-guarding under an aliased iteration
+/// partition.
+[[nodiscard]] bool hasCenteredWrite(const parallelize::PlannedLoop& loop);
+
+/// Deterministic prefix of an index set holding ~frac of its elements, in
+/// iteration order — the part of a task that "ran before the node died".
+[[nodiscard]] region::IndexSet prefixOf(const region::IndexSet& iters,
+                                        double frac);
+
+}  // namespace dpart::runtime

@@ -116,6 +116,27 @@ class CheckpointCorruption : public Error {
   ErrorContext context_;
 };
 
+/// A wire-level failure talking to a worker process (runtime/distributed):
+/// send/recv error, truncated or malformed frame, CRC mismatch, recv
+/// deadline, or unexpected peer EOF. Carries the worker's node id so the
+/// coordinator's bounded retry/reconnect policy — and, when that is
+/// exhausted, the NodeLossError escalation — can name the culprit. The
+/// ErrorContext stamps the trace span open at throw time.
+class TransportError : public Error {
+ public:
+  TransportError(std::size_t node, const std::string& what,
+                 ErrorContext context = {})
+      : Error(what + context.describe()),
+        node_(node),
+        context_(std::move(context)) {}
+  [[nodiscard]] std::size_t node() const { return node_; }
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  std::size_t node_;
+  ErrorContext context_;
+};
+
 namespace detail {
 [[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
                                    const std::string& msg) {

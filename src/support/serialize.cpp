@@ -153,7 +153,8 @@ void writeFramedFile(
 }
 
 std::vector<std::uint8_t> readFramedFile(const std::string& path,
-                                         std::uint32_t* versionOut) {
+                                         std::uint32_t* versionOut,
+                                         std::uint64_t maxPayloadBytes) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     throw CheckpointCorruption("cannot open checkpoint file '" + path + "'");
@@ -178,6 +179,15 @@ std::vector<std::uint8_t> readFramedFile(const std::string& path,
   }
   if (versionOut != nullptr) *versionOut = version;
   const std::uint64_t size = getU64(file, 8);
+  // Cap check first: a corrupt length prefix must fail on its declared
+  // size, before that size is compared to anything or used to size a
+  // buffer (the "1 TiB header on a 1 KiB file" case).
+  if (size > maxPayloadBytes) {
+    throw CheckpointCorruption(
+        "checkpoint file '" + path + "' declares a " + std::to_string(size) +
+        "-byte payload, exceeding the " + std::to_string(maxPayloadBytes) +
+        "-byte frame cap");
+  }
   if (size != file.size() - kHeaderSize) {
     throw CheckpointCorruption(
         "checkpoint file '" + path + "' truncated: payload " +

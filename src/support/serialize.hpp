@@ -23,6 +23,16 @@ namespace dpart {
 inline constexpr std::uint32_t kSerializeVersion = 2;
 inline constexpr std::uint32_t kMinSerializeVersion = 1;
 
+/// Default ceiling on a framed payload's *declared* size. A corrupt or
+/// malicious length prefix larger than this is rejected as
+/// CheckpointCorruption before any buffer is sized from it, so framing
+/// errors cannot turn into multi-terabyte allocation attempts. The wire
+/// transport (runtime/distributed) applies its own configurable cap
+/// (DistributedOptions::maxFrameBytes) with the same
+/// check-before-allocate rule.
+inline constexpr std::uint64_t kMaxFramePayloadBytes = std::uint64_t{1}
+                                                       << 30;  // 1 GiB
+
 /// CRC-32 (IEEE 802.3 polynomial, as in zip/png) over a byte span.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
 
@@ -110,10 +120,15 @@ void writeFramedFile(
 /// Reads a framed file back, validating magic, version, length and CRC-32.
 /// Versions in [kMinSerializeVersion, kSerializeVersion] are accepted; the
 /// file's version is stored through `versionOut` when non-null so the caller
-/// can seed BinaryReader::setFormatVersion. Any mismatch — unreadable file,
-/// truncation, bad magic, out-of-range version, checksum failure — throws
-/// CheckpointCorruption naming the file and the defect.
+/// can seed BinaryReader::setFormatVersion. The header's declared payload
+/// size is checked against `maxPayloadBytes` *before* any other use, so a
+/// hand-crafted header declaring terabytes fails with a clear message
+/// instead of driving downstream buffer sizing. Any mismatch — unreadable
+/// file, truncation, oversized declaration, bad magic, out-of-range
+/// version, checksum failure — throws CheckpointCorruption naming the file
+/// and the defect.
 [[nodiscard]] std::vector<std::uint8_t> readFramedFile(
-    const std::string& path, std::uint32_t* versionOut = nullptr);
+    const std::string& path, std::uint32_t* versionOut = nullptr,
+    std::uint64_t maxPayloadBytes = kMaxFramePayloadBytes);
 
 }  // namespace dpart

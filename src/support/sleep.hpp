@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+namespace dpart {
+
+/// The one place the library sleeps. Every injected stall and retry/backoff
+/// delay — task replay backoff (runtime/executor), DPL straggler faults
+/// (dpl/evaluator), transport reconnect backoff (runtime/distributed) —
+/// must go through this helper with the configured
+/// ResilienceOptions::sleepMicros hook, so fault tests replace wall-clock
+/// waiting with a recorded call and stay deterministic and sleep-free.
+/// An empty hook sleeps for real. Hooks must be thread-safe: tasks and the
+/// transport sleep concurrently.
+inline void sleepOrHook(const std::function<void(std::uint64_t)>& hook,
+                        std::uint64_t micros) {
+  if (micros == 0) return;
+  if (hook) {
+    hook(micros);
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace dpart

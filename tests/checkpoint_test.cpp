@@ -165,6 +165,42 @@ TEST(FramedFile, DetectsTruncationAndBadMagic) {
                CheckpointCorruption);
 }
 
+TEST(FramedFile, OversizedDeclaredPayloadFailsBeforeAllocation) {
+  TempDir dir("oversize");
+  const std::string path = (dir.path / "blob.dpc").string();
+  BinaryWriter w;
+  w.u64(42);
+  writeFramedFile(path, w.payload());
+
+  // Hand-craft a header whose size field (offset 8, little-endian u64)
+  // declares an absurd ~1 TiB payload. The reader must reject it against
+  // the frame cap instead of letting the declared size drive an allocation
+  // (the file is 28 bytes; resize(1 TiB) would throw bad_alloc or OOM).
+  const std::vector<std::uint8_t> intact = slurp(path);
+  std::vector<std::uint8_t> oversized = intact;
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  for (int i = 0; i < 8; ++i) {
+    oversized[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  dump(path, oversized);
+  try {
+    (void)readFramedFile(path);
+    FAIL() << "oversized declared payload went undetected";
+  } catch (const CheckpointCorruption& e) {
+    EXPECT_NE(std::string(e.what()).find("frame cap"), std::string::npos)
+        << e.what();
+  }
+
+  // A caller-supplied cap tightens the default: the intact 8-byte payload
+  // is over a 4-byte budget.
+  dump(path, intact);
+  EXPECT_EQ(readFramedFile(path), std::vector<std::uint8_t>(w.payload().begin(),
+                                                            w.payload().end()));
+  EXPECT_THROW((void)readFramedFile(path, nullptr, /*maxPayloadBytes=*/4),
+               CheckpointCorruption);
+}
+
 TEST(FramedFile, TamperHookCorruptsAfterChecksum) {
   TempDir dir("tamper");
   const std::string path = (dir.path / "blob.dpc").string();

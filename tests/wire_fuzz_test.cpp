@@ -1,0 +1,373 @@
+// Randomized wire-protocol fuzzing (satellite of the multi-process
+// backend): mangled frames — truncated, bit-flipped, reordered, garbage —
+// thrown at recvFrame and at a real forked worker process. The invariant
+// under test is the robustness contract of docs/distributed-backend.md:
+// every outcome is a decoded frame, a clean EOF, or a taxonomy error
+// carrying the worker id — never a hang, a crash, or silently accepted
+// corruption. The worker side must always exit (0 or 2) within a bounded
+// wait, so a deadlocked coordinator/worker pair fails fast here instead of
+// wedging CI.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallelize/parallelize.hpp"
+#include "runtime/distributed/wire.hpp"
+#include "runtime/distributed/worker.hpp"
+#include "runtime/executor.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/serialize.hpp"
+
+namespace dpart::runtime::dist {
+namespace {
+
+// TSan cannot follow a fork() that then starts threads: the worker's
+// heartbeat thread collides with the cloned thread registry ("dup
+// thread") and the child dies. Multi-process tests therefore skip under
+// TSan — the plain and ASan/UBSan jobs still run them for real.
+#if defined(__SANITIZE_THREAD__)
+#define DPART_TSAN 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DPART_TSAN 1
+#endif
+#endif
+#if defined(DPART_TSAN)
+#define DPART_SKIP_UNDER_TSAN() \
+  GTEST_SKIP() << "fork-based backend unsupported under TSan"
+#else
+#define DPART_SKIP_UNDER_TSAN() (void)0
+#endif
+
+using region::FieldType;
+using region::Index;
+using region::World;
+
+struct SocketPair {
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void closeA() {
+    ::close(a);
+    a = -1;
+  }
+  int a = -1;
+  int b = -1;
+};
+
+constexpr std::uint64_t kCap = 1 << 20;
+constexpr std::uint64_t kTimeout = 500'000;  // generous; EOF ends most cases
+
+/// Serializes a valid frame to raw bytes by bouncing it off a socketpair.
+std::vector<std::uint8_t> frameBytes(MsgType type,
+                                     const std::vector<std::uint8_t>& payload) {
+  SocketPair s;
+  sendFrame(s.a, type, payload, 0);
+  std::vector<std::uint8_t> bytes(17 + payload.size());
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t r = ::recv(s.b, bytes.data() + got, bytes.size() - got, 0);
+    if (r <= 0) {
+      ADD_FAILURE() << "short read while capturing frame bytes";
+      return bytes;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return bytes;
+}
+
+TEST(WireFuzz, MangledFramesNeverHangCrashOrPassUndetected) {
+  Rng rng(0xF0221);
+  // A pool of valid frames to mutate.
+  std::vector<std::vector<std::uint8_t>> pool;
+  {
+    TaskMsg t;
+    t.seq = 1;
+    t.loop = "loop";
+    t.piece = 0;
+    pool.push_back(frameBytes(MsgType::Task, encodeTask(t)));
+    ResultMsg m;
+    m.seq = 1;
+    m.piece = 0;
+    pool.push_back(frameBytes(MsgType::Result, encodeResult(m)));
+    pool.push_back(frameBytes(MsgType::Ping, {}));
+    std::vector<std::uint8_t> blob(199);
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng.below(256));
+    pool.push_back(frameBytes(MsgType::TaskError,
+                              encodeTaskError({2, 1, "Error", "x"})));
+    pool.push_back(frameBytes(MsgType::Result, blob));
+  }
+
+  int decoded = 0;
+  int eofs = 0;
+  int transportErrors = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::vector<std::uint8_t> bytes = pool[rng.below(pool.size())];
+    const std::size_t node = rng.below(8);
+    switch (rng.below(5)) {
+      case 0:  // truncate at a random boundary
+        bytes.resize(rng.below(bytes.size() + 1));
+        break;
+      case 1: {  // flip 1-4 random bits
+        const int flips = 1 + static_cast<int>(rng.below(4));
+        for (int f = 0; f < flips && !bytes.empty(); ++f) {
+          bytes[rng.below(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      }
+      case 2: {  // reorder: a second frame's prefix spliced in front
+        std::vector<std::uint8_t> other = pool[rng.below(pool.size())];
+        other.resize(rng.below(other.size() + 1));
+        other.insert(other.end(), bytes.begin(), bytes.end());
+        bytes = std::move(other);
+        break;
+      }
+      case 3: {  // pure garbage
+        bytes.resize(1 + rng.below(64));
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      }
+      case 4:  // intact (control group)
+        break;
+    }
+
+    SocketPair s;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t r =
+          ::send(s.a, bytes.data() + sent, bytes.size() - sent, 0);
+      ASSERT_GT(r, 0);
+      sent += static_cast<std::size_t>(r);
+    }
+    s.closeA();  // EOF after the mangled bytes: no read may wait forever
+
+    try {
+      auto frame = recvFrame(s.b, kTimeout, kCap, node);
+      if (frame.has_value()) {
+        ++decoded;
+      } else {
+        ++eofs;
+      }
+    } catch (const TransportError& e) {
+      EXPECT_EQ(e.node(), node) << e.what();
+      ++transportErrors;
+    }
+    // Any other exception type, or a hang, fails the test (gtest catches
+    // foreign exceptions; ctest's per-test TIMEOUT catches hangs).
+  }
+  // The mix must actually exercise all three outcomes.
+  EXPECT_GT(decoded, 0);
+  EXPECT_GT(eofs + transportErrors, 0);
+}
+
+/// Minimal world + plan for worker-process fuzzing: one centered copy loop.
+struct TinyApp {
+  TinyApp() {
+    region::Region& r = world.addRegion("R", 64);
+    r.addField("val", FieldType::F64);
+    r.addField("tmp", FieldType::F64);
+    auto col = world.region("R").f64("val");
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] = 0.5 * double(i);
+    ir::Program prog;
+    prog.name = "tiny";
+    ir::LoopBuilder b("copy", "i", "R");
+    b.loadF64("x", "R", "val", "i");
+    b.store("R", "tmp", "i", "x");
+    prog.loops.push_back(b.build());
+    parallelize::AutoParallelizer ap(world);
+    plan = ap.plan(prog);
+    exec = std::make_unique<PlanExecutor>(world, plan, kPieces,
+                                          [] {
+                                            ExecOptions o;
+                                            o.threads = 1;
+                                            return o;
+                                          }());
+    exec->preparePartitions();
+  }
+  static constexpr std::size_t kPieces = 2;
+  World world;
+  parallelize::ParallelPlan plan;
+  std::unique_ptr<PlanExecutor> exec;
+};
+
+/// Forks a workerMain wired to fresh socketpairs; returns its pid and the
+/// coordinator-side fds.
+pid_t forkWorker(TinyApp& app, int* dataFd, int* controlFd) {
+  int data[2];
+  int ctrl[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, data), 0);
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, ctrl), 0);
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    ::close(data[0]);
+    ::close(ctrl[0]);
+    WorkerConfig wc;
+    wc.world = &app.world;
+    wc.plan = &app.plan;
+    wc.env = &app.exec->partitions();
+    wc.nodeId = 1;
+    wc.dataFd = data[1];
+    wc.controlFd = ctrl[1];
+    wc.maxFrameBytes = kCap;
+    wc.recvTimeoutMicros = 2'000'000;
+    ::_exit(workerMain(wc));
+  }
+  ::close(data[1]);
+  ::close(ctrl[1]);
+  *dataFd = data[0];
+  *controlFd = ctrl[0];
+  return pid;
+}
+
+/// Reaps `pid` within `deadlineMicros`; fails the test on a hang (and
+/// SIGKILLs the stray so the test binary itself never wedges).
+int reapWithin(pid_t pid, std::uint64_t deadlineMicros) {
+  const std::uint64_t step = 2'000;
+  for (std::uint64_t waited = 0; waited < deadlineMicros; waited += step) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    ::usleep(static_cast<useconds_t>(step));
+  }
+  ADD_FAILURE() << "worker " << pid << " failed to exit in time";
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+void sendAll(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    ASSERT_GT(r, 0);
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+TEST(WireFuzz, WorkerProcessAlwaysExitsOnMangledInput) {
+  DPART_SKIP_UNDER_TSAN();
+  TinyApp app;
+  Rng rng(0xF0222);
+  TaskMsg task;
+  task.seq = 1;
+  task.loop = "copy";
+  task.piece = 0;
+  std::vector<std::uint8_t> valid;
+  {
+    SCOPED_TRACE("capture");
+    valid = frameBytes(MsgType::Task, encodeTask(task));
+  }
+
+  for (int iter = 0; iter < 12; ++iter) {
+    std::vector<std::uint8_t> bytes = valid;
+    switch (rng.below(4)) {
+      case 0:
+        bytes.resize(17 + rng.below(bytes.size() - 17));  // truncated payload
+        break;
+      case 1:
+        bytes[17 + rng.below(bytes.size() - 17)] ^= 0x10;  // payload bit flip
+        break;
+      case 2:  // garbage prefix: bad magic on the very first frame
+        bytes[0] ^= 0xFF;
+        break;
+      case 3:  // wrong channel: a Pong where a Task belongs
+        bytes = frameBytes(MsgType::Pong, {});
+        break;
+    }
+    int dataFd = -1;
+    int controlFd = -1;
+    const pid_t pid = forkWorker(app, &dataFd, &controlFd);
+    sendAll(dataFd, bytes);
+    ::close(dataFd);  // EOF after the damage
+    const int status = reapWithin(pid, 8'000'000);
+    ::close(controlFd);
+    ASSERT_TRUE(WIFEXITED(status)) << "worker crashed (signal "
+                                   << WTERMSIG(status) << ")";
+    // 0: treated as clean EOF; 2: transport/protocol failure. Either is a
+    // loud, coordinator-recoverable outcome — anything else is a bug.
+    EXPECT_TRUE(WEXITSTATUS(status) == 0 || WEXITSTATUS(status) == 2)
+        << "exit " << WEXITSTATUS(status);
+  }
+}
+
+TEST(WireFuzz, WorkerRunsTaskThenExitsCleanlyOnShutdown) {
+  DPART_SKIP_UNDER_TSAN();
+  TinyApp app;
+  int dataFd = -1;
+  int controlFd = -1;
+  const pid_t pid = forkWorker(app, &dataFd, &controlFd);
+  TaskMsg task;
+  task.seq = 7;
+  task.loop = "copy";
+  task.piece = 1;
+  sendFrame(dataFd, MsgType::Task, encodeTask(task), 1);
+  auto frame = recvFrame(dataFd, 8'000'000, kCap, 1);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::Result);
+  BinaryReader r(frame->payload);
+  const ResultMsg res = decodeResult(r);
+  EXPECT_EQ(res.seq, 7u);
+  EXPECT_EQ(res.piece, 1u);
+  ASSERT_EQ(res.writes.size(), 1u);  // the copy loop's store footprint
+
+  // Pings are answered from a dedicated thread, echoing the payload.
+  sendFrame(controlFd, MsgType::Ping, std::vector<std::uint8_t>{9, 9}, 1);
+  auto pong = recvFrame(controlFd, 8'000'000, kCap, 1);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->type, MsgType::Pong);
+  EXPECT_EQ(pong->payload, (std::vector<std::uint8_t>{9, 9}));
+
+  sendFrame(dataFd, MsgType::Shutdown, {}, 1);
+  const int status = reapWithin(pid, 8'000'000);
+  ::close(dataFd);
+  ::close(controlFd);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(WireFuzz, WorkerReportsUnknownLoopAsTaxonomyError) {
+  DPART_SKIP_UNDER_TSAN();
+  TinyApp app;
+  int dataFd = -1;
+  int controlFd = -1;
+  const pid_t pid = forkWorker(app, &dataFd, &controlFd);
+  TaskMsg task;
+  task.seq = 3;
+  task.loop = "no_such_loop";
+  task.piece = 0;
+  sendFrame(dataFd, MsgType::Task, encodeTask(task), 1);
+  auto frame = recvFrame(dataFd, 8'000'000, kCap, 1);
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, MsgType::TaskError);
+  BinaryReader r(frame->payload);
+  const TaskErrorMsg err = decodeTaskError(r);
+  EXPECT_EQ(err.kind, "Error");
+  EXPECT_NE(err.what.find("no_such_loop"), std::string::npos);
+  sendFrame(dataFd, MsgType::Shutdown, {}, 1);
+  (void)reapWithin(pid, 8'000'000);
+  ::close(dataFd);
+  ::close(controlFd);
+}
+
+}  // namespace
+}  // namespace dpart::runtime::dist
