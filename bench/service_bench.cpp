@@ -1,0 +1,251 @@
+// Plan-service benchmark: cold vs warm plan latency through the full
+// socket stack, and throughput/p50/p99 under a large concurrent client
+// wave (the BENCH_service.json rows; docs/service.md).
+//
+// Three claims are enforced by exit code, not just reported:
+//   1. a warm (plan-cache hit) request is >= 10x faster than the cold
+//      solve of the same program, measured server-side;
+//   2. every response of a cached plan is bitwise identical to the cold
+//      plan's DPL program;
+//   3. every client in the concurrent wave is served (no failures).
+//
+// Rows (JSON lines on stdout):
+//   {"bench":"service","op":"plan_cold","loops":L,...,"mode":"serial",...}
+//   {"bench":"service","op":"plan_warm","loops":L,...,"mode":"serial",...}
+//   {"bench":"service","op":"plan_concurrent",...,"mode":"parallel",...}
+//   {"bench":"service_summary",...}
+//
+// Only the "serial" rows feed the tools/bench_check regression gate; the
+// parallel row carries the concurrency percentiles for the perf
+// trajectory.
+//
+// Run: service_bench [--quick] [--clients N]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace dpart;
+using namespace dpart::service;
+
+constexpr int kLoops = 24;
+constexpr std::uint64_t kPieces = 8;
+
+/// A solver-heavy world: every loop chases its own pointer field through
+/// its own field function, so no two loop systems are isomorphic and
+/// unification cannot collapse them — the cold solve must resolve the full
+/// constraint graph, which is exactly the work the plan cache saves.
+void buildWorld(region::World& world, int loops) {
+  auto& a = world.addRegion("A", 4096);
+  auto& b = world.addRegion("B", 2048);
+  a.addField("val", region::FieldType::F64);
+  b.addField("acc", region::FieldType::F64);
+  for (int l = 0; l < loops; ++l) {
+    const std::string ptr = "ptr" + std::to_string(l);
+    a.addField(ptr, region::FieldType::Idx);
+    world.defineFieldFn("A", ptr, "B");
+  }
+}
+
+ir::Program makeProgram(int loops) {
+  ir::Program prog;
+  prog.name = "service_bench";
+  for (int l = 0; l < loops; ++l) {
+    const std::string ptr = "ptr" + std::to_string(l);
+    ir::LoopBuilder lb("loop" + std::to_string(l), "i", "A");
+    lb.loadF64("x", "A", "val", "i");
+    lb.loadIdx("j", "A", ptr, "i");
+    lb.reduce("B", "acc", "j", "x");
+    prog.loops.push_back(lb.build());
+  }
+  return prog;
+}
+
+PlanRequest makeRequest(const std::string& tenant, int loops) {
+  region::World world;
+  buildWorld(world, loops);
+  PlanRequest req;
+  req.tenant = tenant;
+  req.pieces = kPieces;
+  req.world = WorldShape::describe(world);
+  req.program = makeProgram(loops);
+  return req;
+}
+
+ServerOptions serverOptions() {
+  ServerOptions opts;
+  opts.tcpPort = 0;  // kernel-assigned loopback port
+  opts.workers = 4;
+  opts.queueCapacity = 4096;
+  opts.recvTimeoutMicros = 120'000'000;
+  return opts;
+}
+
+void emitSerial(const char* op, double ms, int reps) {
+  std::printf(
+      "{\"bench\":\"service\",\"op\":\"%s\",\"loops\":%d,\"pieces\":%d,"
+      "\"threads\":1,\"mode\":\"serial\",\"ms\":%g,\"runs\":%d}\n",
+      op, kLoops, int(kPieces), ms, reps);
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int clients = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      clients = 128;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--clients N]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int reps = quick ? 3 : 5;
+
+  // ---- Cold: first-ever compile of the program, fresh server (and thus
+  // fresh cache) per rep so every sample pays the full solve.
+  double coldBest = 1e300;
+  std::string coldDpl;
+  for (int r = 0; r < reps; ++r) {
+    PlanServer server(serverOptions());
+    server.start();
+    PlanClient client = PlanClient::connectTcp(server.port());
+    const PlanResponse resp = client.parallelize(makeRequest("bench", kLoops));
+    if (resp.cacheHit) {
+      std::fprintf(stderr, "service_bench: FAIL: cold request hit the cache\n");
+      return 1;
+    }
+    coldBest = std::min(coldBest, resp.serverMs);
+    coldDpl = resp.dpl;
+    if (r == 0) {
+      std::fprintf(stderr,
+                   "service_bench: cold phases infer=%.2f canon=%.2f "
+                   "unify=%.2f solve=%.2f rewrite=%.2f server=%.2f\n",
+                   resp.inferMs, resp.canonMs, resp.unifyMs, resp.solveMs,
+                   resp.rewriteMs, resp.serverMs);
+    }
+    server.stop();
+  }
+  emitSerial("plan_cold", coldBest, reps);
+
+  // ---- Warm: same program against a warmed cache, one shared server.
+  PlanServer server(serverOptions());
+  server.start();
+  double warmBest = 1e300;
+  {
+    PlanClient client = PlanClient::connectTcp(server.port());
+    (void)client.parallelize(makeRequest("bench", kLoops));  // warm the cache
+    for (int r = 0; r < reps; ++r) {
+      const PlanResponse resp =
+          client.parallelize(makeRequest("bench", kLoops));
+      if (!resp.cacheHit) {
+        std::fprintf(stderr,
+                     "service_bench: FAIL: warm request missed the cache\n");
+        return 1;
+      }
+      if (resp.dpl != coldDpl) {
+        std::fprintf(stderr,
+                     "service_bench: FAIL: cached plan differs from the "
+                     "cold plan\n");
+        return 1;
+      }
+      warmBest = std::min(warmBest, resp.serverMs);
+      if (r == 0) {
+        std::fprintf(stderr,
+                     "service_bench: warm phases infer=%.2f canon=%.2f "
+                     "unify=%.2f solve=%.2f rewrite=%.2f server=%.2f\n",
+                     resp.inferMs, resp.canonMs, resp.unifyMs, resp.solveMs,
+                     resp.rewriteMs, resp.serverMs);
+      }
+    }
+  }
+  emitSerial("plan_warm", warmBest, reps);
+
+  const double speedup = coldBest / std::max(1e-9, warmBest);
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "service_bench: FAIL: warm plan only %.1fx faster than cold "
+                 "(cold %.3fms, warm %.3fms; need >= 10x)\n",
+                 speedup, coldBest, warmBest);
+    return 1;
+  }
+
+  // ---- Concurrent wave: `clients` simultaneous connections against the
+  // warmed server, measuring client-observed latency end to end.
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<double> latencies(static_cast<std::size_t>(clients), 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  const auto waveStart = std::chrono::steady_clock::now();
+  for (int i = 0; i < clients; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        const auto t0 = std::chrono::steady_clock::now();
+        PlanClient c = PlanClient::connectTcp(server.port(), 120'000'000);
+        const PlanResponse r = c.parallelize(
+            makeRequest("tenant-" + std::to_string(i % 8), kLoops));
+        const auto t1 = std::chrono::steady_clock::now();
+        latencies[static_cast<std::size_t>(i)] =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r.dpl != coldDpl) mismatches.fetch_add(1);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "service_bench: client %d failed: %s\n", i,
+                     e.what());
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double waveMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - waveStart)
+                            .count();
+  server.stop();
+
+  if (failures.load() != 0 || mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "service_bench: FAIL: %d failures, %d plan mismatches in "
+                 "the concurrent wave\n",
+                 failures.load(), mismatches.load());
+    return 1;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double plansPerSec =
+      1000.0 * static_cast<double>(clients) / std::max(1e-9, waveMs);
+  std::printf(
+      "{\"bench\":\"service\",\"op\":\"plan_concurrent\",\"loops\":%d,"
+      "\"pieces\":%d,\"clients\":%d,\"threads\":%d,\"mode\":\"parallel\","
+      "\"ms\":%g,\"p50_ms\":%g,\"p99_ms\":%g,\"plans_per_sec\":%g}\n",
+      kLoops, int(kPieces), clients, clients, p99, p50, p99, plansPerSec);
+  std::printf(
+      "{\"bench\":\"service_summary\",\"clients\":%d,\"cold_ms\":%g,"
+      "\"warm_ms\":%g,\"warm_speedup\":%g,\"p50_ms\":%g,\"p99_ms\":%g,"
+      "\"plans_per_sec\":%g}\n",
+      clients, coldBest, warmBest, speedup, p50, p99, plansPerSec);
+  return 0;
+}

@@ -96,13 +96,16 @@ int main() {
 
   runtime::ExecOptions opts;
   opts.validateAccesses = true;
-  Session session = Session::parallelize(prog)
-                        .pieces(kPieces)
-                        .options(opts)
-                        .externalConstraint(ext)
-                        .external("pCells", pCells)
-                        .external("pParticles", pParticles)
-                        .run(world);
+  // Compile once (the invariant is a compile-time input; the partitions
+  // themselves are execution-time bindings), then execute the plan.
+  Plan plan = Session::parallelize(prog)
+                  .pieces(kPieces)
+                  .externalConstraint(ext)
+                  .compile(world);
+  Session session = Session::execute(plan, world, opts);
+  session.executor().bindExternal("pCells", pCells);
+  session.executor().bindExternal("pParticles", pParticles);
+  session.run();
 
   std::cout << "DPL synthesized with the user invariant (note: only the\n"
                "h-image partition is constructed; everything else reuses\n"

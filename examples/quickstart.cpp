@@ -2,8 +2,8 @@
 //
 //   1. Declare regions, fields and index functions (a World).
 //   2. Write the loops in the loop IR.
-//   3. Session::parallelize(...): infer constraints -> unify -> solve ->
-//      plan -> execute, in one fluent call.
+//   3. SessionBuilder::compile(): infer constraints -> unify -> solve ->
+//      an immutable Plan; Session::execute(plan, world) runs it.
 //   4. Check the parallel execution against serial.
 //
 // Build & run:  ./build/examples/quickstart [--trace out.json]
@@ -98,12 +98,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The whole pipeline behind one facade: Algorithm 1 + Algorithm 3 +
-  // Algorithm 2, then execution on 8 pieces.
-  Session session = Session::parallelize(prog)
-                        .pieces(8)
-                        .options(opts)
-                        .run(world);
+  // Compile and execute split explicitly: compile() runs Algorithm 1 +
+  // Algorithm 3 + Algorithm 2 and returns an immutable, shareable Plan —
+  // the same artifact the plan service hands out — and Session::execute()
+  // runs it without touching the compiler again. (The fluent
+  // .run(world) one-liner is a thin wrapper over exactly these two calls.)
+  Plan plan = Session::parallelize(prog).pieces(8).compile(world);
+  std::cout << "compile: cacheKey=" << plan.stats().cacheKey
+            << " solveMs=" << plan.stats().solveMs << '\n';
+
+  Session session = Session::execute(plan, world, opts);
+  session.run();
 
   std::cout << "Synthesized DPL program (paper Fig. 2, program B):\n"
             << session.plan().dpl.toString() << '\n';

@@ -55,11 +55,14 @@ int main() {
     opts.enableRelaxation = relax;
     runtime::ExecOptions eopts;
     eopts.validateAccesses = true;
-    Session session = Session::parallelize(prog)
-                          .pieces(pieces)
-                          .compileOptions(opts)
-                          .options(eopts)
-                          .run(world);
+    // compile() then execute(): the Plan is inspectable before any loop
+    // runs, which is all the ablation comparison below needs.
+    Plan compiled = Session::parallelize(prog)
+                        .pieces(pieces)
+                        .compileOptions(opts)
+                        .compile(world);
+    Session session = Session::execute(compiled, world, eopts);
+    session.run();
     const parallelize::ParallelPlan& plan = session.plan();
 
     std::cout << "=== relaxation " << (relax ? "ON" : "OFF") << " ===\n";

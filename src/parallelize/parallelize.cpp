@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "constraint/canonical.hpp"
 #include "constraint/entail.hpp"
 #include "constraint/solver.hpp"
 #include "constraint/unify.hpp"
+#include "parallelize/solve_cache.hpp"
 #include "support/check.hpp"
 #include "support/timer.hpp"
 
@@ -148,31 +150,178 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   const double relaxMs = timer.millis();
   timer.reset();
 
-  // ---- Unification (Algorithm 3) ----
-  DPART_TRACE_SPAN_NAMED(unifySpan, tracer_, "compile", "phase.unify");
-  std::map<std::string, std::string> renames;
-  std::vector<System> systems;
-  for (LoopState& st : loops) {
-    if (options_.enableUnification) {
-      constraint::collapsePlainEdges(st.constraints.system, renames,
-                                     rangeFns);
+  // ---- Canonical cache key (post-relaxation) ----
+  // Algorithm 3 already computes isomorphism classes of constraint graphs;
+  // canonicalize() lifts that to the whole program so an isomorphic program
+  // compiled before — under any renaming of symbols, regions and fns — can
+  // reuse its collapse+unify+solve result. The key covers everything that
+  // stage consumes: the post-relax systems, the external constraint systems,
+  // the range-fn set, the relevant options, each loop's relaxed flag and its
+  // reduce-target symbols (which drive the disjoint-reduction attempt).
+  DPART_TRACE_SPAN_NAMED(canonSpan, tracer_, "compile", "phase.canon");
+  const std::uint64_t optionBits =
+      (options_.enableRelaxation ? 1u : 0u) |
+      (options_.enableDisjointReduction ? 2u : 0u) |
+      (options_.enablePrivateSubPartitions ? 4u : 0u) |
+      (options_.enableUnification ? 8u : 0u);
+  constraint::CanonicalForm canon;
+  {
+    std::vector<constraint::CanonicalLoop> canonLoops;
+    canonLoops.reserve(loops.size());
+    for (const LoopState& st : loops) {
+      constraint::CanonicalLoop cl;
+      cl.system = &st.constraints.system;
+      cl.relaxed = st.reduction.relaxed;
+      for (const ReducePlan& rp : st.reduction.reduces) {
+        cl.reduceTargets.push_back(rp.partition);
+      }
+      canonLoops.push_back(std::move(cl));
     }
-    systems.push_back(st.constraints.system);
+    std::vector<const System*> exts;
+    exts.reserve(externals_.size());
+    for (const System& ext : externals_) exts.push_back(&ext);
+    canon = constraint::canonicalize(canonLoops, exts, rangeFns, optionBits);
   }
-  for (const System& ext : externals_) systems.push_back(ext);
-
-  System combined;
-  if (options_.enableUnification) {
-    constraint::UnifyResult ur = constraint::unifySystems(systems, rangeFns);
-    combined = std::move(ur.system);
-    for (const auto& [from, to] : ur.renames) renames[from] = to;
-  } else {
-    for (const System& s : systems) combined.merge(s);
-    combined = combined.substituted({});
-  }
-  unifySpan.end();
-  result.stats.unifyMs = timer.millis();
+  result.stats.cacheKey = canon.hash;
+  canonSpan.end();
+  result.stats.canonMs = timer.millis();
   timer.reset();
+
+  SolveCache* cache = options_.solveCache;
+  std::shared_ptr<const SolveCacheEntry> cached =
+      cache ? cache->find(canon.hash, canon.rendering) : nullptr;
+
+  std::map<std::string, std::string> renames;
+  constraint::Solution sol;
+  std::set<std::string> fixedSymbols;
+
+  if (cached) {
+    // ---- Cache hit: rebind the canonical solve into this program's names.
+    // The rendering matched, so `canon.toCanonical` is an isomorphism onto
+    // the systems the entry was solved for; mapping the entry back through
+    // its inverse yields exactly the solution a fresh solve of *this*
+    // program would produce (solver determinism + symmetry).
+    result.stats.cacheHit = true;
+    const constraint::NameMaps back = canon.toCanonical.inverted();
+    for (const auto& [from, to] : cached->renames) {
+      renames[back.symbol(from)] = back.symbol(to);
+    }
+    sol.ok = true;
+    for (const auto& [sym, expr] : cached->assignments) {
+      sol.assignments[back.symbol(sym)] = constraint::mapExpr(expr, back);
+    }
+    sol.order.reserve(cached->order.size());
+    for (const std::string& sym : cached->order) {
+      sol.order.push_back(back.symbol(sym));
+    }
+    sol.resolved = constraint::mapSystem(cached->resolved, back);
+    for (const std::string& sym : cached->fixedSymbols) {
+      fixedSymbols.insert(back.symbol(sym));
+    }
+    result.stats.solveMs = relaxMs + timer.millis();
+    timer.reset();
+  } else {
+    // ---- Unification (Algorithm 3) ----
+    DPART_TRACE_SPAN_NAMED(unifySpan, tracer_, "compile", "phase.unify");
+    std::vector<System> systems;
+    for (LoopState& st : loops) {
+      if (options_.enableUnification) {
+        constraint::collapsePlainEdges(st.constraints.system, renames,
+                                       rangeFns);
+      }
+      systems.push_back(st.constraints.system);
+    }
+    for (const System& ext : externals_) systems.push_back(ext);
+
+    System combined;
+    if (options_.enableUnification) {
+      constraint::UnifyResult ur = constraint::unifySystems(systems, rangeFns);
+      combined = std::move(ur.system);
+      for (const auto& [from, to] : ur.renames) renames[from] = to;
+    } else {
+      for (const System& s : systems) combined.merge(s);
+      combined = combined.substituted({});
+    }
+    unifySpan.end();
+    result.stats.unifyMs = timer.millis();
+    timer.reset();
+
+    auto finalName = [&renames](std::string sym) {
+      auto it = renames.find(sym);
+      while (it != renames.end()) {
+        sym = it->second;
+        it = renames.find(sym);
+      }
+      return sym;
+    };
+
+    // ---- Section 5.1 first strategy: disjoint reduction partitions ----
+    // For non-relaxed loops whose uncentered reductions all target one
+    // partition symbol, demand DISJ on it so the solver derives a preimage
+    // iteration partition and no buffer is needed. Fall back when unsolvable.
+    DPART_TRACE_SPAN_NAMED(solveSpan, tracer_, "compile", "phase.solve");
+    std::set<std::string> disjointified;
+    if (options_.enableDisjointReduction) {
+      for (const LoopState& st : loops) {
+        if (st.reduction.relaxed) continue;
+        std::set<std::string> targets;
+        for (const ReducePlan& rp : st.reduction.reduces) {
+          targets.insert(finalName(rp.partition));
+        }
+        if (targets.size() == 1) disjointified.insert(*targets.begin());
+      }
+    }
+
+    {
+      System attempt = combined;
+      for (const std::string& sym : disjointified) {
+        if (attempt.hasSymbol(sym) && !attempt.isFixed(sym)) {
+          attempt.addDisj(dpl::symbol(sym));
+        }
+      }
+      constraint::Solver solver(attempt, rangeFns);
+      sol = solver.solve();
+      if (!sol.ok && !disjointified.empty()) {
+        disjointified.clear();
+        constraint::Solver plain(combined, rangeFns);
+        sol = plain.solve();
+      }
+    }
+    DPART_CHECK(sol.ok, "constraint resolution failed: " + sol.failure);
+    solveSpan.end();
+    // The relaxation analysis is part of what the paper's Table 1 bills as
+    // "solve"; unification is reported on its own row.
+    result.stats.solveMs = relaxMs + timer.millis();
+    timer.reset();
+
+    for (const std::string& sym : combined.symbols()) {
+      if (combined.isFixed(sym)) fixedSymbols.insert(sym);
+    }
+
+    if (cache) {
+      // Store the whole unit in canonical names so any isomorphic program
+      // (from any tenant) can rebind it.
+      auto entry = std::make_shared<SolveCacheEntry>();
+      entry->rendering = canon.rendering;
+      for (const auto& [from, to] : renames) {
+        entry->renames[canon.toCanonical.symbol(from)] =
+            canon.toCanonical.symbol(to);
+      }
+      for (const auto& [sym, expr] : sol.assignments) {
+        entry->assignments[canon.toCanonical.symbol(sym)] =
+            constraint::mapExpr(expr, canon.toCanonical);
+      }
+      entry->order.reserve(sol.order.size());
+      for (const std::string& sym : sol.order) {
+        entry->order.push_back(canon.toCanonical.symbol(sym));
+      }
+      entry->resolved = constraint::mapSystem(sol.resolved, canon.toCanonical);
+      for (const std::string& sym : fixedSymbols) {
+        entry->fixedSymbols.insert(canon.toCanonical.symbol(sym));
+      }
+      cache->insert(canon.hash, std::move(entry));
+    }
+  }
 
   auto finalName = [&renames](std::string sym) {
     auto it = renames.find(sym);
@@ -182,46 +331,6 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
     }
     return sym;
   };
-
-  // ---- Section 5.1 first strategy: disjoint reduction partitions ----
-  // For non-relaxed loops whose uncentered reductions all target one
-  // partition symbol, demand DISJ on it so the solver derives a preimage
-  // iteration partition and no buffer is needed. Fall back when unsolvable.
-  DPART_TRACE_SPAN_NAMED(solveSpan, tracer_, "compile", "phase.solve");
-  std::set<std::string> disjointified;
-  if (options_.enableDisjointReduction) {
-    for (const LoopState& st : loops) {
-      if (st.reduction.relaxed) continue;
-      std::set<std::string> targets;
-      for (const ReducePlan& rp : st.reduction.reduces) {
-        targets.insert(finalName(rp.partition));
-      }
-      if (targets.size() == 1) disjointified.insert(*targets.begin());
-    }
-  }
-
-  constraint::Solution sol;
-  {
-    System attempt = combined;
-    for (const std::string& sym : disjointified) {
-      if (attempt.hasSymbol(sym) && !attempt.isFixed(sym)) {
-        attempt.addDisj(dpl::symbol(sym));
-      }
-    }
-    constraint::Solver solver(attempt, rangeFns);
-    sol = solver.solve();
-    if (!sol.ok && !disjointified.empty()) {
-      disjointified.clear();
-      constraint::Solver plain(combined, rangeFns);
-      sol = plain.solve();
-    }
-  }
-  DPART_CHECK(sol.ok, "constraint resolution failed: " + sol.failure);
-  solveSpan.end();
-  // The relaxation analysis is part of what the paper's Table 1 bills as
-  // "solve"; unification is reported on its own row.
-  result.stats.solveMs = relaxMs + timer.millis();
-  timer.reset();
 
   // ---- Rewrite: emit DPL program and per-loop plans ----
   DPART_TRACE_SPAN(tracer_, "compile", "phase.synthesize");
@@ -384,9 +493,7 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
 
   result.dpl = prog.withCse();
   result.system = sol.resolved;
-  for (const std::string& sym : combined.symbols()) {
-    if (combined.isFixed(sym)) result.externalSymbols.insert(sym);
-  }
+  result.externalSymbols = std::move(fixedSymbols);
   result.stats.rewriteMs = timer.millis();
   return result;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <set>
@@ -17,6 +18,8 @@
 
 namespace dpart::parallelize {
 
+class SolveCache;
+
 /// Tuning knobs for the auto-parallelizer.
 struct Options {
   /// Apply the Section 5.1 relaxation (guarded reductions, aliased
@@ -32,6 +35,12 @@ struct Options {
   /// yields the paper's "naive" per-access partitioning, used by the
   /// ablation benchmarks.
   bool enableUnification = true;
+  /// Optional shared solve cache (borrowed, must outlive the parallelizer):
+  /// the collapse+unify+solve stage is skipped when an isomorphic program —
+  /// same canonical constraint-graph form, possibly under renamed symbols,
+  /// regions and fns — was compiled before, and its cached solution is
+  /// rebound into this program's names. nullptr disables caching.
+  SolveCache* solveCache = nullptr;
 };
 
 /// Timing breakdown of one auto-parallelization run (paper Table 1 rows).
@@ -40,10 +49,15 @@ struct Options {
 /// phase.synthesize) when a tracer is installed.
 struct CompileStats {
   double inferMs = 0;
+  double canonMs = 0;   // canonical cache-key construction
   double unifyMs = 0;   // Algorithm 3 symbol unification
   double solveMs = 0;   // relaxation analysis + constraint resolution
   double rewriteMs = 0; // plan construction (the "code rewrite" stage)
   int parallelLoops = 0;
+  /// Canonical constraint-graph hash of this compile (the plan-cache key).
+  std::uint64_t cacheKey = 0;
+  /// True when collapse+unify+solve was served from Options::solveCache.
+  bool cacheHit = false;
 };
 
 /// Execution plan for one loop: which partition each access uses, how each

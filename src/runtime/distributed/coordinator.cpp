@@ -584,7 +584,12 @@ LaunchStats Coordinator::runLoop(const parallelize::PlannedLoop& loop) {
       ctx.site = "node:" + std::to_string(w.nodeId);
       ctx.loop = loop.loop->name;
       ctx.piece = static_cast<int>(j);
-      if (err.kind == "PartitionViolation") {
+      // Dispatch on the stable numeric code, not the kind string. A
+      // PartitionViolation is a legality failure and must propagate as
+      // itself (replay would just violate again); every other code — a
+      // worker-side TaskFailure, EvalFailure, plain Error — escalates as a
+      // retryable TaskFailure so the bounded replay policy applies.
+      if (err.code == ErrorCode::PartitionViolation) {
         throw PartitionViolation("worker reported: " + err.what,
                                  std::move(ctx));
       }

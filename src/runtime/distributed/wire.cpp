@@ -1,114 +1,11 @@
 #include "runtime/distributed/wire.hpp"
 
-#include <poll.h>
-#include <sys/socket.h>
-
-#include <array>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-
 #include "region/snapshot.hpp"
 #include "support/check.hpp"
 
 namespace dpart::runtime::dist {
 
 namespace {
-
-constexpr std::array<std::uint8_t, 4> kMagic = {'D', 'P', 'M', 'G'};
-// Header: magic[4] | type u8 | payload size u64 | crc32 u32.
-constexpr std::size_t kHeaderSize = 4 + 1 + 8 + 4;
-
-void putU32(std::uint8_t* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-void putU64(std::uint8_t* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-std::uint32_t getU32(const std::uint8_t* in) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t(in[i]) << (8 * i);
-  return v;
-}
-
-std::uint64_t getU64(const std::uint8_t* in) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t(in[i]) << (8 * i);
-  return v;
-}
-
-[[noreturn]] void transportFail(std::size_t node, const std::string& what) {
-  ErrorContext ctx;
-  ctx.piece = -1;
-  throw TransportError(node, "transport: " + what + " (node " +
-                                 std::to_string(node) + ")",
-                       std::move(ctx));
-}
-
-std::uint64_t nowMicros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-/// Reads exactly n bytes under the deadline. Returns false on EOF before
-/// the first byte when allowEof; throws TransportError otherwise.
-bool readFully(int fd, std::uint8_t* buf, std::size_t n,
-               std::uint64_t timeoutMicros, std::size_t node, bool allowEof) {
-  const std::uint64_t deadline =
-      timeoutMicros == 0 ? 0 : nowMicros() + timeoutMicros;
-  std::size_t got = 0;
-  while (got < n) {
-    int waitMs = -1;
-    if (deadline != 0) {
-      const std::uint64_t now = nowMicros();
-      if (now >= deadline) {
-        transportFail(node, "recv timed out after " +
-                                std::to_string(timeoutMicros) + "us (" +
-                                std::to_string(got) + "/" +
-                                std::to_string(n) + " bytes)");
-      }
-      waitMs = static_cast<int>((deadline - now) / 1000 + 1);
-    }
-    pollfd pfd{fd, POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, waitMs);
-    if (pr < 0) {
-      if (errno == EINTR) continue;
-      transportFail(node, std::string("poll: ") + std::strerror(errno));
-    }
-    if (pr == 0) continue;  // re-check the deadline
-    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      transportFail(node, std::string("recv: ") + std::strerror(errno));
-    }
-    if (r == 0) {
-      if (got == 0 && allowEof) return false;
-      transportFail(node, "peer closed mid-frame (" + std::to_string(got) +
-                              "/" + std::to_string(n) + " bytes)");
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return true;
-}
-
-void writeFully(int fd, const std::uint8_t* buf, std::size_t n,
-                std::size_t node) {
-  std::size_t sent = 0;
-  while (sent < n) {
-    // MSG_NOSIGNAL: a dead peer yields EPIPE (-> TransportError) instead of
-    // killing the process with SIGPIPE.
-    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN) continue;
-      transportFail(node, std::string("send: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(r);
-  }
-}
 
 void writeSlices(BinaryWriter& w, const std::vector<FieldSlice>& slices) {
   w.u64(slices.size());
@@ -159,68 +56,21 @@ const char* toString(MsgType t) {
 void sendFrame(int fd, MsgType type, std::span<const std::uint8_t> payload,
                std::size_t node, NetCounters* counters,
                const std::function<void(std::vector<std::uint8_t>&)>& tamper) {
-  std::vector<std::uint8_t> frame(kHeaderSize + payload.size());
-  std::memcpy(frame.data(), kMagic.data(), kMagic.size());
-  frame[4] = static_cast<std::uint8_t>(type);
-  putU64(frame.data() + 5, payload.size());
-  putU32(frame.data() + 13, crc32(payload));
-  if (tamper) {
-    // Silent-corruption model, as in writeFramedFile: the checksum was
-    // computed from the intact payload, then the bytes on the wire are
-    // damaged — the receiver must catch the mismatch.
-    std::vector<std::uint8_t> damaged(payload.begin(), payload.end());
-    tamper(damaged);
-    damaged.resize(payload.size());  // tamper may not change the length
-    std::memcpy(frame.data() + kHeaderSize, damaged.data(), damaged.size());
-  } else if (!payload.empty()) {
-    std::memcpy(frame.data() + kHeaderSize, payload.data(), payload.size());
-  }
-  writeFully(fd, frame.data(), frame.size(), node);
-  if (counters != nullptr) {
-    counters->bytesSent += frame.size();
-    ++counters->messagesSent;
-  }
+  framing::sendFrame(fd, static_cast<std::uint8_t>(type), payload, node,
+                     counters, tamper);
 }
 
 std::optional<Frame> recvFrame(int fd, std::uint64_t timeoutMicros,
                                std::uint64_t maxFrameBytes, std::size_t node,
                                NetCounters* counters) {
-  std::array<std::uint8_t, kHeaderSize> header;
-  if (!readFully(fd, header.data(), header.size(), timeoutMicros, node,
-                 /*allowEof=*/true)) {
-    return std::nullopt;
-  }
-  if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0) {
-    transportFail(node, "bad frame magic");
-  }
-  const std::uint8_t type = header[4];
-  if (type < static_cast<std::uint8_t>(MsgType::Hello) ||
-      type > static_cast<std::uint8_t>(MsgType::Shutdown)) {
-    transportFail(node, "unknown frame type " + std::to_string(type));
-  }
-  const std::uint64_t size = getU64(header.data() + 5);
-  // Cap check BEFORE the allocation the declared size would drive.
-  if (size > maxFrameBytes) {
-    transportFail(node, "frame declares " + std::to_string(size) +
-                            " payload bytes, exceeding the " +
-                            std::to_string(maxFrameBytes) + "-byte cap");
-  }
-  const std::uint32_t want = getU32(header.data() + 13);
+  std::optional<framing::RawFrame> raw = framing::recvFrame(
+      fd, timeoutMicros, maxFrameBytes, node,
+      static_cast<std::uint8_t>(MsgType::Hello),
+      static_cast<std::uint8_t>(MsgType::Shutdown), counters);
+  if (!raw) return std::nullopt;
   Frame frame;
-  frame.type = static_cast<MsgType>(type);
-  frame.payload.resize(static_cast<std::size_t>(size));
-  if (size > 0) {
-    readFully(fd, frame.payload.data(), frame.payload.size(), timeoutMicros,
-              node, /*allowEof=*/false);
-  }
-  if (crc32(frame.payload) != want) {
-    transportFail(node, std::string("frame failed CRC32 check (") +
-                            toString(frame.type) + ")");
-  }
-  if (counters != nullptr) {
-    counters->bytesRecv += kHeaderSize + frame.payload.size();
-    ++counters->messagesRecv;
-  }
+  frame.type = static_cast<MsgType>(raw->type);
+  frame.payload = std::move(raw->payload);
   return frame;
 }
 
@@ -293,6 +143,7 @@ std::vector<std::uint8_t> encodeTaskError(const TaskErrorMsg& m) {
   w.u64(m.piece);
   w.str(m.kind);
   w.str(m.what);
+  w.u32(static_cast<std::uint32_t>(m.code));
   return w.take();
 }
 
@@ -302,6 +153,7 @@ TaskErrorMsg decodeTaskError(BinaryReader& r) {
   m.piece = r.u64();
   m.kind = r.str();
   m.what = r.str();
+  m.code = static_cast<ErrorCode>(r.u32());
   r.expectEnd();
   return m;
 }

@@ -8,22 +8,19 @@
 #include <vector>
 
 #include "region/index_set.hpp"
+#include "support/check.hpp"
+#include "support/framing.hpp"
 #include "support/serialize.hpp"
 
 namespace dpart::runtime::dist {
 
 /// Wire protocol of the multi-process backend (docs/distributed-backend.md).
 ///
-/// Every message travels as one frame on an AF_UNIX stream socket:
-///
-///   magic[4] "DPMG" | type u8 | payload size u64 | crc32 u32 | payload
-///
-/// — the same header discipline as the durable checkpoint framing
-/// (support/serialize.hpp), reusing its CRC-32 and the bounds-checked
-/// BinaryReader for payload decoding. The declared payload size is checked
-/// against a configurable cap BEFORE any buffer is sized from it, and all
-/// reads run under a poll(2) deadline, so a corrupt or hostile peer can
-/// cause neither an unbounded allocation nor an unbounded hang.
+/// Every message travels as one "DPMG" CRC-framed message on an AF_UNIX
+/// stream socket — the shared frame layer lives in support/framing (also
+/// spoken by the plan service); this module contributes the backend's
+/// message-type vocabulary and payload codecs, reusing the bounds-checked
+/// BinaryReader for payload decoding.
 
 enum class MsgType : std::uint8_t {
   Hello = 1,      ///< worker -> coordinator: ready (nodeId, epoch)
@@ -45,12 +42,7 @@ struct Frame {
 
 /// Send/receive tallies of one endpoint (coordinator keeps one per run and
 /// publishes it as the executor.net.* metrics).
-struct NetCounters {
-  std::uint64_t bytesSent = 0;
-  std::uint64_t bytesRecv = 0;
-  std::uint64_t messagesSent = 0;
-  std::uint64_t messagesRecv = 0;
-};
+using NetCounters = framing::NetCounters;
 
 /// Writes one frame to `fd`. `node` only labels the TransportError thrown
 /// on a send failure (EPIPE to a dead worker, etc.). `tamper`, when set, is
@@ -112,12 +104,17 @@ struct ResultMsg {
   double taskSeconds = 0;  ///< worker-side thread CPU seconds
 };
 
-/// Task raised a taxonomy error worker-side (TaskError payload).
+/// Task raised a taxonomy error worker-side (TaskError payload). The
+/// stable numeric code (ErrorCode in support/check.hpp) is authoritative —
+/// the coordinator switches on it to rethrow the right taxonomy subclass;
+/// `kind` is its rendered name, kept on the wire for log lines and the
+/// errorsTotal metric label.
 struct TaskErrorMsg {
   std::uint64_t seq = 0;
   std::uint64_t piece = 0;
-  std::string kind;  ///< "PartitionViolation", "TaskFailure", "Error", ...
+  std::string kind;  ///< toString(code): "PartitionViolation", "Error", ...
   std::string what;  ///< full message (ErrorContext already rendered in)
+  ErrorCode code = ErrorCode::Internal;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encodeTask(const TaskMsg& m);

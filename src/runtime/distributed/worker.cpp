@@ -161,16 +161,11 @@ int workerMain(const WorkerConfig& cfg) {
         const ResultMsg result = runTask(cfg, task);
         sendFrame(cfg.dataFd, MsgType::Result, encodeResult(result),
                   cfg.nodeId);
-      } catch (const PartitionViolation& e) {
-        TaskErrorMsg err{task.seq, task.piece, "PartitionViolation", e.what()};
-        sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
-                  cfg.nodeId);
-      } catch (const TaskFailure& e) {
-        TaskErrorMsg err{task.seq, task.piece, "TaskFailure", e.what()};
-        sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
-                  cfg.nodeId);
       } catch (const Error& e) {
-        TaskErrorMsg err{task.seq, task.piece, "Error", e.what()};
+        // One handler for the whole taxonomy: the subclass's stable numeric
+        // code travels the wire and the coordinator rethrows from it.
+        TaskErrorMsg err{task.seq, task.piece, toString(e.errorCode()),
+                         e.what(), e.errorCode()};
         sendFrame(cfg.dataFd, MsgType::TaskError, encodeTaskError(err),
                   cfg.nodeId);
       }

@@ -42,6 +42,9 @@ class NodeLossError : public Error {
       : Error(what + context.describe()),
         node_(node),
         context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::NodeLoss;
+  }
   [[nodiscard]] std::size_t node() const { return node_; }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 

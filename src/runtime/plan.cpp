@@ -1,0 +1,25 @@
+#include "runtime/plan.hpp"
+
+#include "support/check.hpp"
+
+namespace dpart {
+
+const parallelize::ParallelPlan& Plan::parallelPlan() const {
+  DPART_CHECK(valid(), "empty Plan: compile one with SessionBuilder::compile");
+  return payload_->plan;
+}
+
+const parallelize::CompileStats& Plan::stats() const {
+  return parallelPlan().stats;
+}
+
+std::uint64_t Plan::cacheKey() const { return stats().cacheKey; }
+
+bool Plan::cacheHit() const { return stats().cacheHit; }
+
+std::size_t Plan::pieces() const {
+  DPART_CHECK(valid(), "empty Plan: compile one with SessionBuilder::compile");
+  return payload_->pieces;
+}
+
+}  // namespace dpart

@@ -11,14 +11,69 @@ struct Session::Impl {
   runtime::ExecOptions options;
   std::unique_ptr<Tracer> ownedTracer;
   std::unique_ptr<MetricsRegistry> ownedMetrics;
-  parallelize::ParallelPlan plan;
-  // References impl->plan; Impl lives on the heap, so moving the Session
-  // never invalidates the executor's plan reference.
+  /// Shared immutable compile artifact. The executor references the
+  /// ParallelPlan inside its payload, which the shared_ptr keeps
+  /// address-stable however the Session moves or how many sessions share
+  /// the plan.
+  Plan compiled;
   std::unique_ptr<runtime::PlanExecutor> executor;
+
+  /// Points observability at session-owned instances wherever the caller
+  /// supplied none; honors an explicit trace request on a caller-owned
+  /// tracer.
+  void resolveObservability() {
+    ObservabilityOptions& obs = options.observability;
+    const bool wantTrace = obs.trace || !obs.traceFile.empty();
+    if (obs.tracer == nullptr && wantTrace) {
+      ownedTracer = std::make_unique<Tracer>(obs.traceCapacity);
+      obs.tracer = ownedTracer.get();
+    }
+    if (ownedTracer != nullptr) {
+      ownedTracer->enable();
+    } else if (obs.tracer != nullptr && wantTrace) {
+      // Caller-owned tracer with an explicit trace request: switch it on;
+      // without the request the caller's enable state is respected.
+      obs.tracer->enable();
+    }
+    if (obs.metrics == nullptr) {
+      ownedMetrics = std::make_unique<MetricsRegistry>();
+      obs.metrics = ownedMetrics.get();
+    }
+  }
+
+  /// Publishes the Table 1 compile gauges and wires an executor up to the
+  /// compiled plan (shared by the fluent build() and Session::execute()).
+  void finish(region::World& w) {
+    world = &w;
+    const parallelize::CompileStats& st = compiled.stats();
+    MetricsRegistry& mx = *options.observability.metrics;
+    mx.gauge("compile.inferMs").set(st.inferMs);
+    mx.gauge("compile.unifyMs").set(st.unifyMs);
+    mx.gauge("compile.solveMs").set(st.solveMs);
+    mx.gauge("compile.rewriteMs").set(st.rewriteMs);
+    mx.gauge("compile.canonMs").set(st.canonMs);
+    mx.gauge("compile.cacheHit").set(st.cacheHit ? 1 : 0);
+    mx.gauge("compile.parallelLoops").set(st.parallelLoops);
+    executor = std::make_unique<runtime::PlanExecutor>(
+        w, compiled.parallelPlan(), compiled.pieces(), options);
+  }
 };
 
 SessionBuilder Session::parallelize(const ir::Program& program) {
   return SessionBuilder(program);
+}
+
+Session Session::execute(Plan plan, region::World& world,
+                         runtime::ExecOptions opts) {
+  DPART_CHECK(plan.valid(),
+              "Session::execute needs a compiled Plan "
+              "(SessionBuilder::compile)");
+  auto impl = std::make_unique<Impl>();
+  impl->options = std::move(opts);
+  impl->resolveObservability();
+  impl->compiled = std::move(plan);
+  impl->finish(world);
+  return Session(std::move(impl));
 }
 
 Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -35,11 +90,15 @@ std::size_t Session::rebalances() const {
   return impl_->executor->rebalances();
 }
 
-const parallelize::ParallelPlan& Session::plan() const { return impl_->plan; }
+const parallelize::ParallelPlan& Session::plan() const {
+  return impl_->compiled.parallelPlan();
+}
 
 const parallelize::CompileStats& Session::stats() const {
-  return impl_->plan.stats;
+  return impl_->compiled.stats();
 }
+
+const Plan& Session::compiledPlan() const { return impl_->compiled; }
 
 runtime::PlanExecutor& Session::executor() { return *impl_->executor; }
 
@@ -108,51 +167,35 @@ SessionBuilder& SessionBuilder::adaptive(runtime::RebalancePolicy policy) {
   return *this;
 }
 
-Session SessionBuilder::build(region::World& world) {
-  DPART_CHECK(pieces_ > 0, "SessionBuilder::pieces() must be set (> 0)");
-  auto impl = std::make_unique<Session::Impl>();
-  impl->world = &world;
-  impl->options = std::move(options_);
+Plan SessionBuilder::compile(region::World& world, Tracer* tracer) {
+  return compileInternal(world, tracer);
+}
 
-  ObservabilityOptions& obs = impl->options.observability;
-  const bool wantTrace = obs.trace || !obs.traceFile.empty();
-  if (obs.tracer == nullptr && wantTrace) {
-    impl->ownedTracer = std::make_unique<Tracer>(obs.traceCapacity);
-    obs.tracer = impl->ownedTracer.get();
+Plan SessionBuilder::compileInternal(region::World& world, Tracer* tracer) {
+  DPART_CHECK(pieces_ > 0, "SessionBuilder::pieces() must be set (> 0)");
+  auto payload = std::make_shared<Plan::Payload>();
+  payload->pieces = pieces_;
+  parallelize::AutoParallelizer parallelizer(world, compileOptions_);
+  parallelizer.setTracer(tracer);
+  for (const constraint::System& sys : externalConstraints_) {
+    parallelizer.addExternalConstraint(sys);
   }
-  if (impl->ownedTracer != nullptr) {
-    impl->ownedTracer->enable();
-  } else if (obs.tracer != nullptr && wantTrace) {
-    // Caller-owned tracer with an explicit trace request: switch it on;
-    // without the request the caller's enable state is respected.
-    obs.tracer->enable();
-  }
-  if (obs.metrics == nullptr) {
-    impl->ownedMetrics = std::make_unique<MetricsRegistry>();
-    obs.metrics = impl->ownedMetrics.get();
-  }
+  payload->plan = parallelizer.plan(program_);
+  return Plan(std::move(payload));
+}
+
+Session SessionBuilder::build(region::World& world) {
+  auto impl = std::make_unique<Session::Impl>();
+  impl->options = std::move(options_);
+  impl->resolveObservability();
 
   {
-    DPART_TRACE_SPAN(obs.tracer, "compile", "compile");
-    parallelize::AutoParallelizer parallelizer(world, compileOptions_);
-    parallelizer.setTracer(obs.tracer);
-    for (const constraint::System& sys : externalConstraints_) {
-      parallelizer.addExternalConstraint(sys);
-    }
-    impl->plan = parallelizer.plan(program_);
+    DPART_TRACE_SPAN(impl->options.observability.tracer, "compile", "compile");
+    impl->compiled =
+        compileInternal(world, impl->options.observability.tracer);
   }
 
-  // Publish the Table 1 phase breakdown alongside the trace spans.
-  const parallelize::CompileStats& st = impl->plan.stats;
-  MetricsRegistry& mx = *obs.metrics;
-  mx.gauge("compile.inferMs").set(st.inferMs);
-  mx.gauge("compile.unifyMs").set(st.unifyMs);
-  mx.gauge("compile.solveMs").set(st.solveMs);
-  mx.gauge("compile.rewriteMs").set(st.rewriteMs);
-  mx.gauge("compile.parallelLoops").set(st.parallelLoops);
-
-  impl->executor = std::make_unique<runtime::PlanExecutor>(
-      world, impl->plan, pieces_, impl->options);
+  impl->finish(world);
   for (auto& [name, part] : externals_) {
     impl->executor->bindExternal(name, std::move(part));
   }

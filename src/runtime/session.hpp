@@ -14,6 +14,7 @@
 #include "region/world.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/options.hpp"
+#include "runtime/plan.hpp"
 
 namespace dpart {
 
@@ -31,6 +32,17 @@ class SessionBuilder;
 ///                      .run(world);            // plan + execute once
 ///   session.run();                             // further timesteps
 ///
+/// Compilation and execution also split explicitly: compile() produces an
+/// immutable, shareable dpart::Plan and Session::execute() builds a session
+/// around a precompiled plan without re-running the compiler — the API the
+/// plan service uses to hand one cached plan to many tenants:
+///
+///   dpart::Plan plan =
+///       Session::parallelize(program).pieces(8).compile(world);
+///   auto session = Session::execute(plan, world, opts);
+///   session.run();
+///
+/// The fluent run()/build() path is a thin wrapper over compile()+execute().
 /// Planning happens exactly once; the executor (and with it the global
 /// launch index, checkpoint state and fault-injection wiring) persists
 /// across run() calls, so multi-timestep simulations behave identically to
@@ -41,6 +53,14 @@ class Session {
  public:
   /// Entry point: start building a session for `program`.
   [[nodiscard]] static SessionBuilder parallelize(const ir::Program& program);
+
+  /// Builds a session around a precompiled `plan` (from
+  /// SessionBuilder::compile(), possibly shared with other sessions or
+  /// served from the plan cache) without re-running the compiler. External
+  /// partitions can be bound through executor().bindExternal() before the
+  /// first run().
+  [[nodiscard]] static Session execute(Plan plan, region::World& world,
+                                       runtime::ExecOptions opts = {});
 
   Session(Session&&) noexcept;
   Session& operator=(Session&&) noexcept;
@@ -55,6 +75,10 @@ class Session {
 
   [[nodiscard]] const parallelize::ParallelPlan& plan() const;
   [[nodiscard]] const parallelize::CompileStats& stats() const;
+
+  /// The immutable compile artifact this session executes — copy it to
+  /// share the plan with further Session::execute() calls.
+  [[nodiscard]] const Plan& compiledPlan() const;
 
   /// The executor driving the plan — the escape hatch for everything the
   /// facade does not wrap (taskReplays(), checkpointManager(), ...).
@@ -108,12 +132,23 @@ class SessionBuilder {
   /// hysteresis / cooldown / cap controls. `policy.enabled` is forced on.
   SessionBuilder& adaptive(runtime::RebalancePolicy policy = {});
 
-  /// Plans (once) and wires up the executor without running any loop.
+  /// Runs the compiler only: infer / relax / canonicalize / (cached)
+  /// solve / synthesize against `world`'s region shapes, returning the
+  /// result as an immutable shareable Plan. No executor is built and no
+  /// loop runs; pass the Plan to Session::execute() — as many times as
+  /// needed — to run it. `tracer`, when given, records the compile phases
+  /// as "compile"-category spans (the plan service passes its own).
+  [[nodiscard]] Plan compile(region::World& world, Tracer* tracer = nullptr);
+
+  /// Plans (once) and wires up the executor without running any loop —
+  /// compile() + Session::execute() with this builder's options.
   [[nodiscard]] Session build(region::World& world);
   /// build() followed by one Session::run().
   [[nodiscard]] Session run(region::World& world);
 
  private:
+  [[nodiscard]] Plan compileInternal(region::World& world, Tracer* tracer);
+
   ir::Program program_;
   runtime::ExecOptions options_;
   parallelize::Options compileOptions_;

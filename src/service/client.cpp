@@ -1,0 +1,124 @@
+#include "service/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dpart::service {
+
+namespace {
+
+[[noreturn]] void connectFail(const std::string& target) {
+  throw TransportError(0, "plan client: cannot connect to " + target + ": " +
+                              std::strerror(errno));
+}
+
+}  // namespace
+
+PlanClient PlanClient::connectUnix(const std::string& path,
+                                   std::uint64_t timeoutMicros) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  DPART_CHECK(path.size() < sizeof(addr.sun_path),
+              "unix socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) connectFail(path);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    connectFail(path);
+  }
+  return PlanClient(fd, timeoutMicros);
+}
+
+PlanClient PlanClient::connectTcp(std::uint16_t port,
+                                  std::uint64_t timeoutMicros) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) connectFail("127.0.0.1:" + std::to_string(port));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    connectFail("127.0.0.1:" + std::to_string(port));
+  }
+  return PlanClient(fd, timeoutMicros);
+}
+
+PlanClient::PlanClient(int fd, std::uint64_t timeoutMicros)
+    : fd_(fd), timeoutMicros_(timeoutMicros) {}
+
+PlanClient::PlanClient(PlanClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      timeoutMicros_(other.timeoutMicros_),
+      counters_(other.counters_) {}
+
+PlanClient& PlanClient::operator=(PlanClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    timeoutMicros_ = other.timeoutMicros_;
+    counters_ = other.counters_;
+  }
+  return *this;
+}
+
+PlanClient::~PlanClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+framing::RawFrame PlanClient::roundTrip(MsgType send,
+                                        std::vector<std::uint8_t> payload,
+                                        MsgType expect) {
+  DPART_CHECK(fd_ >= 0, "PlanClient was moved from");
+  framing::sendFrame(fd_, static_cast<std::uint8_t>(send), payload,
+                     /*node=*/0, &counters_);
+  auto frame = framing::recvFrame(
+      fd_, timeoutMicros_, /*maxFrameBytes=*/64ull << 20, /*node=*/0,
+      static_cast<std::uint8_t>(MsgType::Request),
+      static_cast<std::uint8_t>(MsgType::Shutdown), &counters_);
+  if (!frame) {
+    throw TransportError(0, "plan server closed the connection mid-exchange");
+  }
+  if (static_cast<MsgType>(frame->type) == MsgType::ErrorReply) {
+    BinaryReader r(frame->payload);
+    const ErrorReplyMsg err = decodeError(r);
+    throwServiceError(err.code, err.what);
+  }
+  if (static_cast<MsgType>(frame->type) != expect) {
+    throw TransportError(0, std::string("plan server sent ") +
+                                toString(static_cast<MsgType>(frame->type)) +
+                                " where " + toString(expect) +
+                                " was expected");
+  }
+  return std::move(*frame);
+}
+
+PlanResponse PlanClient::parallelize(const PlanRequest& request) {
+  framing::RawFrame frame =
+      roundTrip(MsgType::Request, encodeRequest(request), MsgType::Response);
+  BinaryReader r(frame.payload);
+  return decodeResponse(r);
+}
+
+std::string PlanClient::stats(const std::string& tenant) {
+  framing::RawFrame frame =
+      roundTrip(MsgType::StatsRequest, encodeString(tenant),
+                MsgType::StatsReply);
+  BinaryReader r(frame.payload);
+  return decodeString(r);
+}
+
+void PlanClient::shutdownServer() {
+  DPART_CHECK(fd_ >= 0, "PlanClient was moved from");
+  framing::sendFrame(fd_, static_cast<std::uint8_t>(MsgType::Shutdown), {},
+                     /*node=*/0, &counters_);
+}
+
+}  // namespace dpart::service

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "support/framing.hpp"
+
+namespace dpart::service {
+
+/// Blocking client for one PlanServer connection.
+///
+/// A PlanClient holds one AF_UNIX or loopback-TCP connection and issues
+/// synchronous request/response exchanges over it. An ErrorReply from the
+/// server is rethrown locally as the matching dpart::Error taxonomy subclass
+/// (same stable code, same message), so remote failures look exactly like
+/// local ones to the caller. Move-only; the destructor closes the socket.
+class PlanClient {
+ public:
+  /// Connects to a server's AF_UNIX socket at `path`.
+  [[nodiscard]] static PlanClient connectUnix(
+      const std::string& path, std::uint64_t timeoutMicros = 30'000'000);
+
+  /// Connects to a server's loopback TCP port.
+  [[nodiscard]] static PlanClient connectTcp(
+      std::uint16_t port, std::uint64_t timeoutMicros = 30'000'000);
+
+  PlanClient(PlanClient&& other) noexcept;
+  PlanClient& operator=(PlanClient&& other) noexcept;
+  PlanClient(const PlanClient&) = delete;
+  PlanClient& operator=(const PlanClient&) = delete;
+  ~PlanClient();
+
+  /// Sends one parallelize request and waits for the plan. Throws the
+  /// server's error (BadRequest, Overloaded, PartitionViolation, ...) on an
+  /// ErrorReply, TransportError when the connection fails.
+  [[nodiscard]] PlanResponse parallelize(const PlanRequest& request);
+
+  /// Fetches the metrics JSON for `tenant` ("" = service-level rollup).
+  [[nodiscard]] std::string stats(const std::string& tenant = {});
+
+  /// Asks the server to stop. The server begins draining immediately; this
+  /// connection is done afterwards.
+  void shutdownServer();
+
+  /// Wire tallies of this connection (bytes / messages, both directions).
+  [[nodiscard]] const framing::NetCounters& counters() const {
+    return counters_;
+  }
+
+ private:
+  PlanClient(int fd, std::uint64_t timeoutMicros);
+
+  /// One request/response exchange; decodes ErrorReply into a throw.
+  [[nodiscard]] framing::RawFrame roundTrip(MsgType send,
+                                            std::vector<std::uint8_t> payload,
+                                            MsgType expect);
+
+  int fd_ = -1;
+  std::uint64_t timeoutMicros_ = 30'000'000;
+  framing::NetCounters counters_;
+};
+
+}  // namespace dpart::service

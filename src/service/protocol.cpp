@@ -1,0 +1,334 @@
+#include "service/protocol.hpp"
+
+namespace dpart::service {
+
+namespace {
+
+constexpr int kMaxInnerDepth = 4;
+
+void writeStmt(BinaryWriter& w, const ir::Stmt& s, int depth) {
+  DPART_CHECK(depth < kMaxInnerDepth, "inner loops nested too deeply");
+  w.u8(static_cast<std::uint8_t>(s.kind));
+  w.i64(s.id);
+  w.str(s.var);
+  w.str(s.region);
+  w.str(s.field);
+  w.str(s.idxVar);
+  w.str(s.src);
+  w.str(s.fn);
+  w.u8(static_cast<std::uint8_t>(s.op));
+  w.u64(s.args.size());
+  for (const std::string& a : s.args) w.str(a);
+  w.str(s.loopVar);
+  w.str(s.rangeVar);
+  w.u64(s.body.size());
+  for (const ir::Stmt& b : s.body) writeStmt(w, b, depth + 1);
+}
+
+ir::Stmt readStmt(BinaryReader& r, int depth) {
+  if (depth >= kMaxInnerDepth) {
+    throw BadRequest("request declares inner loops nested deeper than " +
+                     std::to_string(kMaxInnerDepth));
+  }
+  ir::Stmt s;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ir::StmtKind::InnerLoop)) {
+    throw BadRequest("unknown statement kind " + std::to_string(kind));
+  }
+  s.kind = static_cast<ir::StmtKind>(kind);
+  s.id = static_cast<int>(r.i64());
+  s.var = r.str();
+  s.region = r.str();
+  s.field = r.str();
+  s.idxVar = r.str();
+  s.src = r.str();
+  s.fn = r.str();
+  const std::uint8_t op = r.u8();
+  if (op > static_cast<std::uint8_t>(ir::ReduceOp::Max)) {
+    throw BadRequest("unknown reduce op " + std::to_string(op));
+  }
+  s.op = static_cast<ir::ReduceOp>(op);
+  const std::uint64_t nArgs = r.u64();
+  s.args.reserve(static_cast<std::size_t>(nArgs));
+  for (std::uint64_t i = 0; i < nArgs; ++i) s.args.push_back(r.str());
+  if (s.kind == ir::StmtKind::Compute) {
+    // Closures do not travel. The pipeline only consults a Compute's args
+    // (dataflow); the placeholder keeps the statement evaluable should a
+    // diagnostic path ever call it.
+    s.compute = [](std::span<const double>) { return 0.0; };
+  }
+  s.loopVar = r.str();
+  s.rangeVar = r.str();
+  const std::uint64_t nBody = r.u64();
+  s.body.reserve(static_cast<std::size_t>(nBody));
+  for (std::uint64_t i = 0; i < nBody; ++i) {
+    s.body.push_back(readStmt(r, depth + 1));
+  }
+  return s;
+}
+
+}  // namespace
+
+const char* toString(MsgType t) {
+  switch (t) {
+    case MsgType::Request: return "Request";
+    case MsgType::Response: return "Response";
+    case MsgType::ErrorReply: return "ErrorReply";
+    case MsgType::StatsRequest: return "StatsRequest";
+    case MsgType::StatsReply: return "StatsReply";
+    case MsgType::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+void throwServiceError(ErrorCode code, const std::string& what) {
+  switch (code) {
+    case ErrorCode::BadRequest: throw BadRequest(what);
+    case ErrorCode::Overloaded: throw Overloaded(what);
+    default: throwErrorCode(code, what);
+  }
+}
+
+WorldShape WorldShape::describe(const region::World& world) {
+  WorldShape shape;
+  for (const std::string& name : world.regionNames()) {
+    const region::Region& r = world.region(name);
+    RegionShape rs;
+    rs.name = name;
+    rs.size = r.size();
+    for (const std::string& field : r.fieldNames()) {
+      rs.fields.push_back(FieldShape{field, r.fieldType(field)});
+    }
+    shape.regions.push_back(std::move(rs));
+  }
+  for (const std::string& id : world.fnIds()) {
+    const region::FnDef& fn = world.fn(id);
+    shape.fns.push_back(FnShape{fn.id, fn.kind, fn.domainRegion,
+                                fn.rangeRegion, fn.field});
+  }
+  return shape;
+}
+
+region::World WorldShape::materialize(region::Index maxElements) const {
+  region::World world;
+  for (const RegionShape& rs : regions) {
+    if (rs.size < 0 || rs.size > maxElements) {
+      throw BadRequest("region '" + rs.name + "' declares " +
+                       std::to_string(rs.size) +
+                       " elements, exceeding the server cap of " +
+                       std::to_string(maxElements));
+    }
+    if (world.hasRegion(rs.name)) {
+      throw BadRequest("duplicate region '" + rs.name + "'");
+    }
+    region::Region& r = world.addRegion(rs.name, rs.size);
+    for (const FieldShape& fs : rs.fields) r.addField(fs.name, fs.type);
+  }
+  for (const FnShape& fs : fns) {
+    if (!world.hasRegion(fs.domainRegion) || !world.hasRegion(fs.rangeRegion)) {
+      throw BadRequest("fn '" + fs.id + "' references an unknown region");
+    }
+    switch (fs.kind) {
+      case region::FnKind::FieldPtr:
+        world.defineFieldFn(fs.domainRegion, fs.field, fs.rangeRegion);
+        break;
+      case region::FnKind::FieldRange:
+        world.defineRangeFn(fs.domainRegion, fs.field, fs.rangeRegion);
+        break;
+      case region::FnKind::Affine:
+        // The body never travels; the solver is symbolic, so an identity
+        // placeholder under the requester's id preserves the plan.
+        world.defineAffineFn(fs.id, fs.domainRegion, fs.rangeRegion,
+                             [](region::Index i) { return i; });
+        break;
+      case region::FnKind::Identity:
+        throw BadRequest("the identity fn is implicit and cannot be defined");
+    }
+  }
+  return world;
+}
+
+std::vector<std::uint8_t> encodeRequest(const PlanRequest& m) {
+  BinaryWriter w;
+  w.str(m.tenant);
+  w.u64(m.pieces);
+  std::uint8_t flags = 0;
+  if (m.enableRelaxation) flags |= 1;
+  if (m.enableDisjointReduction) flags |= 2;
+  if (m.enablePrivateSubPartitions) flags |= 4;
+  if (m.enableUnification) flags |= 8;
+  w.u8(flags);
+  w.u64(m.world.regions.size());
+  for (const RegionShape& rs : m.world.regions) {
+    w.str(rs.name);
+    w.i64(rs.size);
+    w.u64(rs.fields.size());
+    for (const FieldShape& fs : rs.fields) {
+      w.str(fs.name);
+      w.u8(static_cast<std::uint8_t>(fs.type));
+    }
+  }
+  w.u64(m.world.fns.size());
+  for (const FnShape& fs : m.world.fns) {
+    w.str(fs.id);
+    w.u8(static_cast<std::uint8_t>(fs.kind));
+    w.str(fs.domainRegion);
+    w.str(fs.rangeRegion);
+    w.str(fs.field);
+  }
+  w.str(m.program.name);
+  w.u64(m.program.loops.size());
+  for (const ir::Loop& loop : m.program.loops) {
+    w.str(loop.name);
+    w.str(loop.loopVar);
+    w.str(loop.iterRegion);
+    w.u64(loop.body.size());
+    for (const ir::Stmt& s : loop.body) writeStmt(w, s, 0);
+  }
+  return w.take();
+}
+
+PlanRequest decodeRequest(BinaryReader& r) {
+  PlanRequest m;
+  m.tenant = r.str();
+  m.pieces = r.u64();
+  const std::uint8_t flags = r.u8();
+  m.enableRelaxation = (flags & 1) != 0;
+  m.enableDisjointReduction = (flags & 2) != 0;
+  m.enablePrivateSubPartitions = (flags & 4) != 0;
+  m.enableUnification = (flags & 8) != 0;
+  const std::uint64_t nRegions = r.u64();
+  m.world.regions.reserve(static_cast<std::size_t>(nRegions));
+  for (std::uint64_t i = 0; i < nRegions; ++i) {
+    RegionShape rs;
+    rs.name = r.str();
+    rs.size = r.i64();
+    const std::uint64_t nFields = r.u64();
+    rs.fields.reserve(static_cast<std::size_t>(nFields));
+    for (std::uint64_t k = 0; k < nFields; ++k) {
+      FieldShape fs;
+      fs.name = r.str();
+      const std::uint8_t type = r.u8();
+      if (type > static_cast<std::uint8_t>(region::FieldType::Range)) {
+        throw BadRequest("unknown field type " + std::to_string(type));
+      }
+      fs.type = static_cast<region::FieldType>(type);
+      rs.fields.push_back(std::move(fs));
+    }
+    m.world.regions.push_back(std::move(rs));
+  }
+  const std::uint64_t nFns = r.u64();
+  m.world.fns.reserve(static_cast<std::size_t>(nFns));
+  for (std::uint64_t i = 0; i < nFns; ++i) {
+    FnShape fs;
+    fs.id = r.str();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(region::FnKind::FieldRange)) {
+      throw BadRequest("unknown fn kind " + std::to_string(kind));
+    }
+    fs.kind = static_cast<region::FnKind>(kind);
+    fs.domainRegion = r.str();
+    fs.rangeRegion = r.str();
+    fs.field = r.str();
+    m.world.fns.push_back(std::move(fs));
+  }
+  m.program.name = r.str();
+  const std::uint64_t nLoops = r.u64();
+  m.program.loops.reserve(static_cast<std::size_t>(nLoops));
+  for (std::uint64_t i = 0; i < nLoops; ++i) {
+    ir::Loop loop;
+    loop.name = r.str();
+    loop.loopVar = r.str();
+    loop.iterRegion = r.str();
+    const std::uint64_t nStmts = r.u64();
+    loop.body.reserve(static_cast<std::size_t>(nStmts));
+    for (std::uint64_t k = 0; k < nStmts; ++k) {
+      loop.body.push_back(readStmt(r, 0));
+    }
+    m.program.loops.push_back(std::move(loop));
+  }
+  r.expectEnd();
+  return m;
+}
+
+std::vector<std::uint8_t> encodeResponse(const PlanResponse& m) {
+  BinaryWriter w;
+  w.u64(m.cacheKey);
+  w.u8(m.cacheHit ? 1 : 0);
+  w.f64(m.inferMs);
+  w.f64(m.canonMs);
+  w.f64(m.unifyMs);
+  w.f64(m.solveMs);
+  w.f64(m.rewriteMs);
+  w.i64(m.parallelLoops);
+  w.f64(m.serverMs);
+  w.str(m.dpl);
+  w.u64(m.loops.size());
+  for (const LoopPlanInfo& lp : m.loops) {
+    w.str(lp.name);
+    w.str(lp.iterPartition);
+    w.u8(lp.relaxed ? 1 : 0);
+  }
+  w.u64(m.externalSymbols.size());
+  for (const std::string& s : m.externalSymbols) w.str(s);
+  return w.take();
+}
+
+PlanResponse decodeResponse(BinaryReader& r) {
+  PlanResponse m;
+  m.cacheKey = r.u64();
+  m.cacheHit = r.u8() != 0;
+  m.inferMs = r.f64();
+  m.canonMs = r.f64();
+  m.unifyMs = r.f64();
+  m.solveMs = r.f64();
+  m.rewriteMs = r.f64();
+  m.parallelLoops = static_cast<int>(r.i64());
+  m.serverMs = r.f64();
+  m.dpl = r.str();
+  const std::uint64_t nLoops = r.u64();
+  m.loops.reserve(static_cast<std::size_t>(nLoops));
+  for (std::uint64_t i = 0; i < nLoops; ++i) {
+    LoopPlanInfo lp;
+    lp.name = r.str();
+    lp.iterPartition = r.str();
+    lp.relaxed = r.u8() != 0;
+    m.loops.push_back(std::move(lp));
+  }
+  const std::uint64_t nExternal = r.u64();
+  m.externalSymbols.reserve(static_cast<std::size_t>(nExternal));
+  for (std::uint64_t i = 0; i < nExternal; ++i) {
+    m.externalSymbols.push_back(r.str());
+  }
+  r.expectEnd();
+  return m;
+}
+
+std::vector<std::uint8_t> encodeError(const ErrorReplyMsg& m) {
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(m.code));
+  w.str(m.what);
+  return w.take();
+}
+
+ErrorReplyMsg decodeError(BinaryReader& r) {
+  ErrorReplyMsg m;
+  m.code = static_cast<ErrorCode>(r.u32());
+  m.what = r.str();
+  r.expectEnd();
+  return m;
+}
+
+std::vector<std::uint8_t> encodeString(const std::string& s) {
+  BinaryWriter w;
+  w.str(s);
+  return w.take();
+}
+
+std::string decodeString(BinaryReader& r) {
+  std::string s = r.str();
+  r.expectEnd();
+  return s;
+}
+
+}  // namespace dpart::service

@@ -14,13 +14,53 @@ namespace dpart {
 /// without this header depending on the tracer.
 [[nodiscard]] std::uint64_t currentTraceSpanId() noexcept;
 
+/// Stable numeric codes for the error taxonomy. These travel over both
+/// socket protocols (the multi-process backend's TaskError frames and the
+/// plan service's Error responses), so the values are a wire contract:
+/// append-only, never renumbered, never reused. A peer built from an older
+/// revision must still decode every code it knows about.
+enum class ErrorCode : std::uint16_t {
+  Internal = 1,              ///< plain Error: broken precondition / invariant
+  TaskFailure = 2,           ///< task died mid-loop (retryable)
+  PartitionViolation = 3,    ///< materialized partition broke a plan property
+  EvalFailure = 4,           ///< DPL evaluation failed
+  CheckpointCorruption = 5,  ///< durable checkpoint failed validation
+  Transport = 6,             ///< wire-level failure talking to a peer
+  NodeLoss = 7,              ///< node presumed dead (runtime::NodeLossError)
+  BadRequest = 8,            ///< service: malformed / unsupported request
+  Overloaded = 9,            ///< service: admission queue full, try later
+};
+
+/// Human-readable name of a code (metrics labels, log lines, TaskErrorMsg
+/// kind strings). Unknown values — a newer peer's codes — render as "?".
+[[nodiscard]] constexpr const char* toString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Internal: return "Error";
+    case ErrorCode::TaskFailure: return "TaskFailure";
+    case ErrorCode::PartitionViolation: return "PartitionViolation";
+    case ErrorCode::EvalFailure: return "EvalFailure";
+    case ErrorCode::CheckpointCorruption: return "CheckpointCorruption";
+    case ErrorCode::Transport: return "TransportError";
+    case ErrorCode::NodeLoss: return "NodeLossError";
+    case ErrorCode::BadRequest: return "BadRequest";
+    case ErrorCode::Overloaded: return "Overloaded";
+  }
+  return "?";
+}
+
 /// Error thrown on violated preconditions or internal invariants.
 ///
 /// The library throws rather than aborting so that tests can assert on
-/// failure modes and embedding applications can recover.
+/// failure modes and embedding applications can recover. Every subclass in
+/// the taxonomy reports a stable numeric errorCode() so a failure can cross
+/// a process boundary as (code, what) and be rethrown as the right type on
+/// the other side (throwErrorCode).
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  [[nodiscard]] virtual ErrorCode errorCode() const noexcept {
+    return ErrorCode::Internal;
+  }
 };
 
 /// Structured locus carried by the error taxonomy below. Every field is
@@ -68,6 +108,9 @@ class TaskFailure : public Error {
  public:
   explicit TaskFailure(const std::string& what, ErrorContext context = {})
       : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::TaskFailure;
+  }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 
  private:
@@ -82,6 +125,9 @@ class PartitionViolation : public Error {
   explicit PartitionViolation(const std::string& what,
                               ErrorContext context = {})
       : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::PartitionViolation;
+  }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 
  private:
@@ -94,6 +140,9 @@ class EvalFailure : public Error {
  public:
   explicit EvalFailure(const std::string& what, ErrorContext context = {})
       : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::EvalFailure;
+  }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 
  private:
@@ -110,6 +159,9 @@ class CheckpointCorruption : public Error {
   explicit CheckpointCorruption(const std::string& what,
                                 ErrorContext context = {})
       : Error(what + context.describe()), context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::CheckpointCorruption;
+  }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 
  private:
@@ -129,6 +181,9 @@ class TransportError : public Error {
       : Error(what + context.describe()),
         node_(node),
         context_(std::move(context)) {}
+  [[nodiscard]] ErrorCode errorCode() const noexcept override {
+    return ErrorCode::Transport;
+  }
   [[nodiscard]] std::size_t node() const { return node_; }
   [[nodiscard]] const ErrorContext& context() const { return context_; }
 
@@ -136,6 +191,30 @@ class TransportError : public Error {
   std::size_t node_;
   ErrorContext context_;
 };
+
+/// Rethrows a decoded (code, what) pair as the matching taxonomy subclass —
+/// the receive half of the wire contract. Codes whose class lives above this
+/// header (NodeLoss in runtime, BadRequest/Overloaded in the service) fall
+/// through to plain Error; a decode site that speaks those codes handles
+/// them before calling this. `what` is the peer's full rendered message, so
+/// no fresh ErrorContext is attached (the peer's is already baked in; a new
+/// one would stamp the local span id over the remote fault site).
+[[noreturn]] inline void throwErrorCode(ErrorCode code, const std::string& what,
+                                        std::size_t node = 0) {
+  ErrorContext none;
+  none.spanId = 0;  // describe() renders nothing: `what` passes through as-is
+  switch (code) {
+    case ErrorCode::TaskFailure: throw TaskFailure(what, std::move(none));
+    case ErrorCode::PartitionViolation:
+      throw PartitionViolation(what, std::move(none));
+    case ErrorCode::EvalFailure: throw EvalFailure(what, std::move(none));
+    case ErrorCode::CheckpointCorruption:
+      throw CheckpointCorruption(what, std::move(none));
+    case ErrorCode::Transport:
+      throw TransportError(node, what, std::move(none));
+    default: throw Error(what);
+  }
+}
 
 namespace detail {
 [[noreturn]] inline void failCheck(const char* cond, const char* file, int line,

@@ -211,12 +211,14 @@ TEST(Wire, ResultAndTaskErrorRoundTrip) {
   EXPECT_EQ(got.reduces[0].entries, rs.entries);
   EXPECT_EQ(got.taskSeconds, 0.125);
 
-  TaskErrorMsg e{7, 1, "TaskFailure", "injected fault"};
+  TaskErrorMsg e{7, 1, "TaskFailure", "injected fault",
+                 ErrorCode::TaskFailure};
   const std::vector<std::uint8_t> errBytes = encodeTaskError(e);
   BinaryReader er(errBytes);
   const TaskErrorMsg gotE = decodeTaskError(er);
   EXPECT_EQ(gotE.kind, "TaskFailure");
   EXPECT_EQ(gotE.what, "injected fault");
+  EXPECT_EQ(gotE.code, ErrorCode::TaskFailure);
 
   // Truncated payloads must fail decoding, not read garbage.
   std::vector<std::uint8_t> bytes = encodeResult(m);

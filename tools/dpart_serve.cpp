@@ -1,0 +1,132 @@
+// dpart-serve: the partitioning-as-a-service daemon (docs/service.md).
+//
+// Binds an AF_UNIX or loopback-TCP listening socket, serves parallelize
+// requests through the shared plan cache until a client sends a Shutdown
+// frame (or SIGINT/SIGTERM arrives), then prints the service metrics
+// rollup and optionally writes a Chrome trace of every request served.
+//
+//   dpart-serve --unix /tmp/dpart.sock
+//   dpart-serve --tcp 7070 --workers 8 --trace service_trace.json
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+dpart::service::PlanServer* g_server = nullptr;
+
+void onSignal(int) {
+  // async-signal-safe enough for a daemon: stop() only flips a flag and
+  // shuts the listen socket down from the handler's perspective (the full
+  // join happens on the main thread after waitForStopRequest returns).
+  if (g_server != nullptr) g_server->requestStop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--unix PATH | --tcp PORT] [--workers N] [--queue N]\n"
+      "          [--cache N] [--trace FILE] [--print-port]\n"
+      "\n"
+      "  --unix PATH    listen on an AF_UNIX socket at PATH\n"
+      "  --tcp PORT     listen on loopback TCP (0 = kernel-assigned)\n"
+      "  --workers N    concurrent compile workers (default 4)\n"
+      "  --queue N      admission queue capacity (default 256)\n"
+      "  --cache N      plan cache capacity in entries (default 1024)\n"
+      "  --trace FILE   write a Chrome trace of served requests to FILE\n"
+      "  --print-port   print the bound TCP port to stdout and flush\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpart::service::ServerOptions opts;
+  std::string traceFile;
+  bool printPort = false;
+  bool haveEndpoint = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      opts.unixPath = next();
+      haveEndpoint = true;
+    } else if (arg == "--tcp") {
+      opts.tcpPort = static_cast<std::uint16_t>(std::atoi(next()));
+      haveEndpoint = true;
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--queue") {
+      opts.queueCapacity = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--cache") {
+      opts.cacheCapacity = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--trace") {
+      traceFile = next();
+    } else if (arg == "--print-port") {
+      printPort = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (!haveEndpoint) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  dpart::Tracer tracer;
+  if (!traceFile.empty()) {
+    tracer.enable();
+    opts.tracer = &tracer;
+  }
+
+  try {
+    dpart::service::PlanServer server(std::move(opts));
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (server.unixPath().empty()) {
+      std::fprintf(stderr, "dpart-serve: listening on 127.0.0.1:%u\n",
+                   unsigned(server.port()));
+      if (printPort) {
+        std::printf("%u\n", unsigned(server.port()));
+        std::fflush(stdout);
+      }
+    } else {
+      std::fprintf(stderr, "dpart-serve: listening on %s\n",
+                   server.unixPath().c_str());
+    }
+
+    server.waitForStopRequest();
+    g_server = nullptr;
+    server.stop();
+
+    if (!traceFile.empty()) {
+      tracer.writeChromeTrace(traceFile);
+      std::fprintf(stderr, "dpart-serve: trace written to %s\n",
+                   traceFile.c_str());
+    }
+    std::fprintf(stderr, "dpart-serve: final stats\n%s\n",
+                 server.statsJson("").c_str());
+    return 0;
+  } catch (const dpart::Error& e) {
+    std::fprintf(stderr, "dpart-serve: fatal: %s\n", e.what());
+    return 1;
+  }
+}

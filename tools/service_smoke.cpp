@@ -1,0 +1,231 @@
+// service_smoke: CI smoke client for dpart-serve (docs/service.md).
+//
+// Hammers a running plan server with N concurrent clients (default 64)
+// spread over four tenants — plus one hostile client that writes a
+// malformed frame — then asserts through the stats endpoint that every
+// well-formed request was served, the cross-tenant plan cache got hits,
+// and every response carried the identical DPL program. Exits nonzero on
+// any violation, so CI can gate on it directly.
+//
+//   dpart-serve --tcp 0 --print-port > port.txt &
+//   service_smoke --tcp $(cat port.txt) --clients 64 --shutdown
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "service/client.hpp"
+#include "support/framing.hpp"
+
+namespace {
+
+using namespace dpart;
+using namespace dpart::service;
+
+struct Endpoint {
+  std::string unixPath;
+  std::uint16_t tcpPort = 0;
+};
+
+PlanClient connectWithRetry(const Endpoint& ep, int attempts = 100) {
+  for (int i = 0;; ++i) {
+    try {
+      return ep.unixPath.empty() ? PlanClient::connectTcp(ep.tcpPort)
+                                 : PlanClient::connectUnix(ep.unixPath);
+    } catch (const TransportError&) {
+      if (i >= attempts) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+PlanRequest makeRequest(const std::string& tenant) {
+  PlanRequest req;
+  req.tenant = tenant;
+  req.pieces = 8;
+
+  RegionShape particles;
+  particles.name = "Particles";
+  particles.size = 4096;
+  particles.fields.push_back(FieldShape{"cell", region::FieldType::Idx});
+  particles.fields.push_back(FieldShape{"pos", region::FieldType::F64});
+  RegionShape cells;
+  cells.name = "Cells";
+  cells.size = 256;
+  cells.fields.push_back(FieldShape{"vel", region::FieldType::F64});
+  req.world.regions = {particles, cells};
+
+  FnShape cellOf;
+  cellOf.id = "fld:Particles.cell";
+  cellOf.kind = region::FnKind::FieldPtr;
+  cellOf.domainRegion = "Particles";
+  cellOf.rangeRegion = "Cells";
+  cellOf.field = "cell";
+  req.world.fns = {cellOf};
+
+  ir::LoopBuilder b("update", "p", "Particles");
+  b.loadIdx("c", "Particles", "cell", "p");
+  b.loadF64("v", "Cells", "vel", "c");
+  b.compute("dp", {"v"}, [](auto v) { return v[0]; });
+  b.reduce("Particles", "pos", "p", "dp");
+  req.program.name = "service_smoke";
+  req.program.loops.push_back(b.build());
+  return req;
+}
+
+/// One hostile connection: raw garbage instead of a DPMG frame. The server
+/// must drop only this connection.
+void sendMalformedFrame(const Endpoint& ep) {
+  if (!ep.unixPath.empty()) {
+    // The TCP path covers CI; skip the hand-rolled unix connect here.
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(ep.tcpPort);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const char garbage[] = "NOPE this is not a frame";
+    (void)!::write(fd, garbage, sizeof(garbage));
+  }
+  ::close(fd);
+}
+
+/// Pulls a counter value out of the stats JSON
+/// ({"name":"<name>","type":"counter","value":N}).
+long statsCounter(const std::string& json, const std::string& name) {
+  const std::string needle = "\"name\":\"" + name + "\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return -1;
+  const std::size_t value = json.find("\"value\":", at);
+  if (value == std::string::npos) return -1;
+  return std::atol(json.c_str() + value + 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Endpoint ep;
+  int clients = 64;
+  bool shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: %s [--unix PATH | --tcp PORT] [--clients N] "
+                     "[--shutdown]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      ep.unixPath = next();
+    } else if (arg == "--tcp") {
+      ep.tcpPort = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--clients") {
+      clients = std::atoi(next());
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else {
+      std::fprintf(stderr, "service_smoke: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (ep.unixPath.empty() && ep.tcpPort == 0) {
+    std::fprintf(stderr, "service_smoke: need --unix PATH or --tcp PORT\n");
+    return 2;
+  }
+
+  try {
+    // Wait for the server, then warm the cache with one canonical request
+    // so the concurrent wave below is mostly hits.
+    PlanClient warmup = connectWithRetry(ep);
+    const PlanResponse first = warmup.parallelize(makeRequest("tenant-0"));
+    std::fprintf(stderr,
+                 "service_smoke: warmed cache, key=%llu coldMs=%.2f\n",
+                 static_cast<unsigned long long>(first.cacheKey),
+                 first.serverMs);
+
+    std::atomic<int> failures{0};
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int i = 0; i < clients; ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          PlanClient c = connectWithRetry(ep);
+          const PlanResponse r =
+              c.parallelize(makeRequest("tenant-" + std::to_string(i % 4)));
+          if (r.dpl != first.dpl || r.cacheKey != first.cacheKey) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const Error& e) {
+          std::fprintf(stderr, "service_smoke: client %d failed: %s\n", i,
+                       e.what());
+          failures.fetch_add(1);
+        }
+      });
+    }
+    // The hostile client rides along with the legitimate wave.
+    std::thread hostile([&] { sendMalformedFrame(ep); });
+    for (std::thread& t : threads) t.join();
+    hostile.join();
+
+    const std::string stats = warmup.stats();
+    const long requests = statsCounter(stats, "service.requests");
+    const long hits = statsCounter(stats, "service.cache.hits");
+    std::fprintf(stderr,
+                 "service_smoke: %d clients done, requests=%ld hits=%ld "
+                 "failures=%d mismatches=%d\n",
+                 clients, requests, hits, failures.load(),
+                 mismatches.load());
+
+    bool ok = true;
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "service_smoke: FAIL: %d client failures\n",
+                   failures.load());
+      ok = false;
+    }
+    if (mismatches.load() != 0) {
+      std::fprintf(stderr,
+                   "service_smoke: FAIL: %d plan mismatches (cached plans "
+                   "must be identical)\n",
+                   mismatches.load());
+      ok = false;
+    }
+    if (requests < clients + 1) {
+      std::fprintf(stderr,
+                   "service_smoke: FAIL: server counted %ld requests, "
+                   "expected >= %d\n",
+                   requests, clients + 1);
+      ok = false;
+    }
+    if (hits < 1) {
+      std::fprintf(stderr,
+                   "service_smoke: FAIL: no plan-cache hits recorded\n");
+      ok = false;
+    }
+
+    if (shutdown) warmup.shutdownServer();
+    return ok ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "service_smoke: fatal: %s\n", e.what());
+    return 1;
+  }
+}
