@@ -248,6 +248,14 @@ int main(int argc, char** argv) {
   if (argc == 2 && std::strcmp(argv[1], "--skewed") == 0) {
     return runSkewed();
   }
+  if (argc == 3 && std::strcmp(argv[1], "--proof") == 0) {
+    apps::SpmvApp::Params p;
+    p.rowsPerPiece = 256;
+    p.nnzPerRow = 5;
+    p.pieces = 4;
+    apps::SpmvApp app(p);
+    return bench::emitProof(app.program(), app.world(), p.pieces, argv[2]);
+  }
   sim::MachineConfig cfg;
 
   struct Holder {

@@ -5,10 +5,20 @@
 
 #include "scaling_common.hpp"
 
+#include <cstring>
+
 #include "apps/stencil.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpart;
+  if (argc == 3 && std::strcmp(argv[1], "--proof") == 0) {
+    apps::StencilApp::Params p;
+    p.rowsPerPiece = 32;
+    p.cols = 32;
+    p.pieces = 4;
+    apps::StencilApp app(p);
+    return bench::emitProof(app.program(), app.world(), p.pieces, argv[2]);
+  }
   sim::MachineConfig cfg;
   std::vector<std::unique_ptr<apps::StencilApp>> keep;
 

@@ -6,10 +6,21 @@
 
 #include "scaling_common.hpp"
 
+#include <cstring>
+
 #include "apps/miniaero.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpart;
+  if (argc == 3 && std::strcmp(argv[1], "--proof") == 0) {
+    apps::MiniAeroApp::Params p;
+    p.nx = 6;
+    p.ny = 6;
+    p.nzPerPiece = 6;
+    p.pieces = 4;
+    apps::MiniAeroApp app(p);
+    return bench::emitProof(app.program(), app.world(), p.pieces, argv[2]);
+  }
   sim::MachineConfig cfg;
   std::vector<std::unique_ptr<apps::MiniAeroApp>> keep;
 

@@ -7,10 +7,20 @@
 
 #include "scaling_common.hpp"
 
+#include <cstring>
+
 #include "apps/circuit.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpart;
+  if (argc == 3 && std::strcmp(argv[1], "--proof") == 0) {
+    apps::CircuitApp::Params p;
+    p.pieces = 4;
+    p.nodesPerCluster = 64;
+    p.wiresPerCluster = 256;
+    apps::CircuitApp app(p);
+    return bench::emitProof(app.program(), app.world(), p.pieces, argv[2]);
+  }
   sim::MachineConfig cfg;
   std::vector<std::unique_ptr<apps::CircuitApp>> keep;
 

@@ -7,10 +7,20 @@
 
 #include "scaling_common.hpp"
 
+#include <cstring>
+
 #include "apps/pennant.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dpart;
+  if (argc == 3 && std::strcmp(argv[1], "--proof") == 0) {
+    apps::PennantApp::Params p;
+    p.zx = 8;
+    p.zyPerPiece = 8;
+    p.pieces = 4;
+    apps::PennantApp app(p);
+    return bench::emitProof(app.program(), app.world(), p.pieces, argv[2]);
+  }
   sim::MachineConfig cfg;
   std::vector<std::unique_ptr<apps::PennantApp>> keep;
 

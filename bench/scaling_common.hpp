@@ -6,9 +6,26 @@
 #include <vector>
 
 #include "apps/app_common.hpp"
+#include "runtime/session.hpp"
 #include "sim/cluster.hpp"
 
 namespace dpart::bench {
+
+/// `--proof <out.dprf>` handler shared by the Figure 14 benches: compile the
+/// app's program once at a small scale with proof-certificate emission
+/// (docs/solver.md) and exit. CI replays each certificate through
+/// tools/proof_check and archives it as a build artifact.
+inline int emitProof(const ir::Program& program, region::World& world,
+                     std::size_t pieces, const char* file) {
+  Plan plan = Session::parallelize(program)
+                  .pieces(pieces)
+                  .proof(file)
+                  .compile(world);
+  std::cout << "proof certificate written to " << file
+            << " (events=" << plan.stats().proofEvents
+            << ", bytes=" << plan.stats().proofBytes << ")\n";
+  return plan.stats().proofEvents > 0 ? 0 : 1;
+}
 
 /// Node counts used by every weak-scaling figure (the paper's x-axis).
 inline std::vector<int> nodeCounts(int maxNodes = 256) {

@@ -1,0 +1,164 @@
+// External-constraint vocabulary + proof certificates, end to end.
+//
+//   1. Compile the quickstart program under capacity / replication /
+//      co-location bounds (SessionBuilder::capacity / replication /
+//      colocate), emitting a DPRF proof certificate of the solve, then run
+//      it — the executor re-verifies every vocabulary obligation against the
+//      materialized partitions before launching.
+//   2. Tighten the capacity until the constraint set is provably
+//      unsatisfiable: compile() throws constraint::InfeasibleError carrying
+//      the first conflict's provenance, and the certificate it leaves
+//      behind is a machine-checkable infeasibility trace.
+//   3. Ask for an anti-affine placement of a field with itself — the
+//      solver refutes it from the pigeonhole (a complete partition of a
+//      non-empty region cannot be self-disjoint).
+//
+// Build & run:
+//   ./build/examples/constraints_demo [--proof ok.dprf]
+//                                     [--infeasible-proof bad.dprf]
+//
+// Check the certificates with the independent verifier:
+//   ./build/tools/proof_check ok.dprf bad.dprf
+//
+// See docs/constraint-language.md (vocabulary semantics) and docs/solver.md
+// (certificate format).
+
+#include <cstring>
+#include <iostream>
+
+#include "constraint/vocab.hpp"
+#include "runtime/session.hpp"
+
+using namespace dpart;
+
+namespace {
+
+constexpr region::Index kParticles = 60;
+constexpr region::Index kCells = 20;
+constexpr std::size_t kPieces = 4;
+
+void buildWorld(region::World& world) {
+  auto& particles = world.addRegion("Particles", kParticles);
+  auto& cells = world.addRegion("Cells", kCells);
+  particles.addField("cell", region::FieldType::Idx);
+  particles.addField("pos", region::FieldType::F64);
+  cells.addField("vel", region::FieldType::F64);
+  cells.addField("acc", region::FieldType::F64);
+
+  auto cell = particles.idx("cell");
+  for (region::Index p = 0; p < kParticles; ++p) {
+    cell[static_cast<std::size_t>(p)] = p % kCells;
+  }
+  auto vel = cells.f64("vel");
+  auto acc = cells.f64("acc");
+  for (region::Index c = 0; c < kCells; ++c) {
+    vel[static_cast<std::size_t>(c)] = 0.01 * double(c);
+    acc[static_cast<std::size_t>(c)] = 0.001 * double(c % 7);
+  }
+  world.defineFieldFn("Particles", "cell", "Cells");
+}
+
+ir::Program program() {
+  ir::Program prog;
+  prog.name = "constraints_demo";
+  {
+    ir::LoopBuilder b("update_particles", "p", "Particles");
+    b.loadIdx("c", "Particles", "cell", "p");
+    b.loadF64("v1", "Cells", "vel", "c");
+    b.compute("dp", {"v1"}, [](auto v) { return 0.5 * v[0]; });
+    b.reduce("Particles", "pos", "p", "dp");
+    prog.loops.push_back(b.build());
+  }
+  {
+    ir::LoopBuilder b("update_cells", "c", "Cells");
+    b.loadF64("a1", "Cells", "acc", "c");
+    b.compute("dv", {"a1"}, [](auto v) { return v[0]; });
+    b.reduce("Cells", "vel", "c", "dv");
+    prog.loops.push_back(b.build());
+  }
+  return prog;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string proofFile;
+  std::string infeasibleProofFile;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--proof") == 0) {
+      proofFile = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--infeasible-proof") == 0) {
+      infeasibleProofFile = argv[i + 1];
+    }
+  }
+
+  ir::Program prog = program();
+
+  // --- 1. A satisfiable constraint set, solved with a proof. --------------
+  {
+    region::World world;
+    buildWorld(world);
+    runtime::ExecOptions opts;
+    // Re-verify every vocabulary obligation (capacity / replication /
+    // co-location) against the materialized partitions before launching.
+    opts.verifyPartitions = true;
+    SessionBuilder builder = Session::parallelize(prog)
+                                 .options(opts)
+                                 .pieces(kPieces)
+                                 .capacity("Particles", 15)  // = ceil(60/4)
+                                 .capacity("Cells", 20)
+                                 .replication("Cells", 0.0, 8.0)
+                                 .colocate("Cells.vel", "Cells.acc");
+    if (!proofFile.empty()) builder.proof(proofFile);
+    Session session = builder.build(world);
+    session.run();
+    std::cout << "constrained compile solved; DPL program:\n"
+              << session.plan().dpl.toString();
+    std::cout << "propagations="
+              << session.metrics().gauge("compile.propagate.propagations").value()
+              << " prunes="
+              << session.metrics().gauge("compile.propagate.prunes").value()
+              << " branches="
+              << session.metrics().gauge("compile.propagate.branches").value()
+              << '\n';
+    if (!proofFile.empty()) {
+      std::cout << "proof certificate written to " << proofFile << '\n';
+    }
+  }
+
+  // --- 2. Capacity pigeonhole: ceil(20 cells / 4 pieces) = 5 > 3. ---------
+  bool sawInfeasible = false;
+  try {
+    region::World world;
+    buildWorld(world);
+    SessionBuilder builder =
+        Session::parallelize(prog).pieces(kPieces).capacity("Cells", 3);
+    if (!infeasibleProofFile.empty()) builder.proof(infeasibleProofFile);
+    (void)builder.compile(world);
+  } catch (const constraint::InfeasibleError& e) {
+    sawInfeasible = true;
+    std::cout << "capacity 3 on Cells is infeasible, as expected:\n  "
+              << e.what() << '\n';
+    if (!infeasibleProofFile.empty()) {
+      std::cout << "infeasibility certificate written to "
+                << infeasibleProofFile << '\n';
+    }
+  }
+
+  // --- 3. Anti-affinity of a field with itself: refuted by pigeonhole. ----
+  bool sawAntiInfeasible = false;
+  try {
+    region::World world;
+    buildWorld(world);
+    (void)Session::parallelize(prog)
+        .pieces(kPieces)
+        .antiAffinity("Cells.vel", "Cells.vel")
+        .compile(world);
+  } catch (const constraint::InfeasibleError& e) {
+    sawAntiInfeasible = true;
+    std::cout << "self anti-affinity on Cells.vel is infeasible:\n  "
+              << e.what() << '\n';
+  }
+
+  return sawInfeasible && sawAntiInfeasible ? 0 : 1;
+}

@@ -62,6 +62,7 @@ struct Canonicalizer {
   std::vector<CanonicalLoop> loops;    // loop systems then externals
   std::set<std::string> rangeFns;
   std::uint64_t optionBits = 0;
+  std::string extraKey;
   std::size_t externalStart = 0;       // index of first external system
 
   std::vector<NodeKey> nodes;          // stable order: sorted by key
@@ -475,6 +476,9 @@ struct Canonicalizer {
 
     std::ostringstream os;
     os << "options " << optionBits << '\n';
+    // Caller-supplied key material outside the constraint graph (external
+    // vocabulary, pieces, region sizes); raw names, not canonicalized.
+    if (!extraKey.empty()) os << "extra " << extraKey << '\n';
     std::vector<std::string> rf;
     for (const std::string& f : rangeFns) {
       // Range fns the systems never mention cannot affect the solve.
@@ -579,7 +583,8 @@ System mapSystem(const System& s, const NameMaps& m) {
 CanonicalForm canonicalize(const std::vector<CanonicalLoop>& loops,
                            const std::vector<const System*>& externals,
                            const std::set<std::string>& rangeFns,
-                           std::uint64_t optionBits) {
+                           std::uint64_t optionBits,
+                           const std::string& extraKey) {
   Canonicalizer c;
   c.loops = loops;
   c.externalStart = loops.size();
@@ -588,6 +593,7 @@ CanonicalForm canonicalize(const std::vector<CanonicalLoop>& loops,
   }
   c.rangeFns = rangeFns;
   c.optionBits = optionBits;
+  c.extraKey = extraKey;
   c.collectNodes();
   c.initColors();
   c.compileAllConjuncts();

@@ -79,7 +79,11 @@ struct CanonicalForm {
 /// hyperedges), with deterministic individualization of residual ties.
 /// `rangeFns` colors range-valued fns differently from point fns (the
 /// lemma engine distinguishes them), and `optionBits` folds the compile
-/// options that change the pipeline's output into the key.
+/// options that change the pipeline's output into the key. `extraKey` is
+/// additional raw (non-canonicalized) key material appended verbatim to the
+/// rendering and hash — the parallelizer passes the external-vocabulary
+/// rendering plus pieces and region sizes, so vocabulary-constrained
+/// compiles never collide with unconstrained ones.
 ///
 /// Isomorphic inputs produce identical hash + rendering; the labeling is an
 /// isomorphism onto the canonical form whenever the rendering matches, so
@@ -87,6 +91,7 @@ struct CanonicalForm {
 [[nodiscard]] CanonicalForm canonicalize(
     const std::vector<CanonicalLoop>& loops,
     const std::vector<const System*>& externals,
-    const std::set<std::string>& rangeFns, std::uint64_t optionBits);
+    const std::set<std::string>& rangeFns, std::uint64_t optionBits,
+    const std::string& extraKey = {});
 
 }  // namespace dpart::constraint

@@ -1,0 +1,173 @@
+#include "constraint/proof.hpp"
+
+namespace dpart::constraint {
+
+void ProofLog::line(const std::string& s) {
+  os_ << s << '\n';
+  ++events_;
+  bytes_ += s.size() + 1;
+}
+
+void ProofLog::begin(std::size_t pieces) {
+  line("cert DPRF 1");
+  line("pieces " + std::to_string(pieces));
+}
+
+void ProofLog::region(const std::string& name, std::size_t size) {
+  line("region " + name + " " + std::to_string(size));
+}
+
+void ProofLog::pointFn(const std::string& id, const std::string& domain,
+                       const std::string& range,
+                       const std::vector<long long>& table) {
+  std::string s = "fn " + id + " point " + domain + " " + range;
+  for (long long v : table) {
+    s += ' ';
+    s += std::to_string(v);
+  }
+  line(s);
+}
+
+void ProofLog::rangeFn(const std::string& id, const std::string& domain,
+                       const std::string& range,
+                       const std::vector<std::pair<long long, long long>>&
+                           table) {
+  std::string s = "fn " + id + " range " + domain + " " + range;
+  for (const auto& [lo, hi] : table) {
+    s += ' ';
+    s += std::to_string(lo);
+    s += ':';
+    s += std::to_string(hi);
+  }
+  line(s);
+}
+
+void ProofLog::symbol(const std::string& name, bool fixed,
+                      const std::string& region) {
+  line("symbol " + name + (fixed ? " fixed " : " open ") + region);
+}
+
+void ProofLog::conjuncts(const System& system) {
+  for (const Pred& p : system.preds()) {
+    std::string s = std::string("conjunct ") +
+                    (p.assumed ? "assumed " : "required ");
+    switch (p.kind) {
+      case Pred::Kind::Part: s += "part " + p.region + " "; break;
+      case Pred::Kind::Disj: s += "disj "; break;
+      case Pred::Kind::Comp: s += "comp " + p.region + " "; break;
+    }
+    s += p.expr->toString();
+    line(s);
+  }
+  for (const Subset& sc : system.subsets()) {
+    line(std::string("conjunct ") + (sc.assumed ? "assumed " : "required ") +
+         "subset " + sc.lhs->toString() + " <= " + sc.rhs->toString());
+  }
+}
+
+void ProofLog::vocabulary(const SolverVocabulary& vocab) {
+  for (const auto& [sym, cap] : vocab.capacity) {
+    line("vocab capacity " + sym + " " + std::to_string(cap));
+  }
+  for (const auto& [sym, bounds] : vocab.replication) {
+    line("vocab replicate " + sym + " " + std::to_string(bounds.first) +
+         " " + std::to_string(bounds.second));
+  }
+  for (const SolverVocabulary::SymbolPair& p : vocab.colocated) {
+    line("vocab colocate " + p.symA + " " + p.symB + " " + p.fieldA + " " +
+         p.fieldB);
+  }
+  for (const SolverVocabulary::SymbolPair& p : vocab.antiAffine) {
+    line("vocab anti " + p.symA + " " + p.symB + " " + p.fieldA + " " +
+         p.fieldB);
+  }
+}
+
+void ProofLog::beginSearch() { line("begin search"); }
+
+void ProofLog::restart(std::size_t attempt, const std::string& heuristic,
+                       std::size_t budget) {
+  line("restart " + std::to_string(attempt) + " " + heuristic + " " +
+       std::to_string(budget));
+}
+
+void ProofLog::node(std::size_t id, std::size_t parent,
+                    const std::string& branchedSymbol) {
+  line("node " + std::to_string(id) + " " + std::to_string(parent) + " " +
+       (branchedSymbol.empty() ? "-" : branchedSymbol));
+}
+
+void ProofLog::candidate(std::size_t node, std::size_t idx,
+                         const std::string& symbol, const dpl::ExprPtr& expr) {
+  line("cand " + std::to_string(node) + " " + std::to_string(idx) + " " +
+       symbol + " " + expr->toString());
+}
+
+void ProofLog::dedup(std::size_t node, std::size_t idx) {
+  line("dedup " + std::to_string(node) + " " + std::to_string(idx));
+}
+
+void ProofLog::prune(std::size_t node, std::size_t idx,
+                     const std::string& rule, const std::string& detail) {
+  line("prune " + std::to_string(node) + " " + std::to_string(idx) + " " +
+       rule + (detail.empty() ? "" : " " + detail));
+}
+
+void ProofLog::refute(std::size_t node, const std::string& symbol,
+                      const std::string& rule, const std::string& detail) {
+  line("refute " + std::to_string(node) + " " + symbol + " " + rule +
+       (detail.empty() ? "" : " " + detail));
+}
+
+void ProofLog::branch(std::size_t node, std::size_t idx) {
+  line("branch " + std::to_string(node) + " " + std::to_string(idx));
+}
+
+void ProofLog::leafOk(std::size_t node) {
+  line("leaf " + std::to_string(node) + " ok");
+}
+
+void ProofLog::leafBad(std::size_t node, const std::string& conjunct) {
+  line("leaf " + std::to_string(node) + " bad " + conjunct);
+}
+
+void ProofLog::backtrack(std::size_t node) {
+  line("backtrack " + std::to_string(node));
+}
+
+void ProofLog::exhausted(std::size_t node) {
+  line("exhausted " + std::to_string(node));
+}
+
+void ProofLog::budget(std::size_t node) {
+  line("budget " + std::to_string(node));
+}
+
+void ProofLog::solution(const std::vector<std::string>& order,
+                        const std::map<std::string, dpl::ExprPtr>&
+                            assignments) {
+  line("solution");
+  for (const std::string& sym : order) {
+    line("assign " + sym + " " + assignments.at(sym)->toString());
+  }
+}
+
+void ProofLog::infeasible(const std::string& detail) {
+  line("infeasible " + detail);
+}
+
+void ProofLog::planStmt(const std::string& name, const dpl::ExprPtr& expr) {
+  line("dplstmt " + name + " " + expr->toString());
+}
+
+void ProofLog::expectation(const std::string& l) { line("expect " + l); }
+
+std::string ProofLog::finish() {
+  if (!finished_) {
+    line("end " + std::to_string(events_ + 1));
+    finished_ = true;
+  }
+  return os_.str();
+}
+
+}  // namespace dpart::constraint

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "constraint/entail.hpp"
+#include "constraint/proof.hpp"
 #include "support/check.hpp"
 
 namespace dpart::constraint {
@@ -21,8 +22,18 @@ dpl::Program Solution::program() const {
 Solver::Solver(System system, std::set<std::string> rangeFns)
     : system_(std::move(system)), rangeFns_(std::move(rangeFns)) {}
 
+Solver::Solver(System system, std::set<std::string> rangeFns,
+               SolverConfig config)
+    : system_(std::move(system)),
+      rangeFns_(std::move(rangeFns)),
+      config_(std::move(config)) {}
+
 Solution Solver::solve(const std::map<std::string, ExprPtr>& initial) {
   steps_ = 0;
+  if (config_.engine == SolverEngine::Propagation) {
+    return solvePropagation(initial);
+  }
+  stepCap_ = maxSteps_;
   Solution out;
   std::vector<std::string> order;
   if (!solveRec(initial, order, out)) {
@@ -31,6 +42,207 @@ Solution Solver::solve(const std::map<std::string, ExprPtr>& initial) {
   }
   return out;
 }
+
+// ---- propagation engine --------------------------------------------------
+
+namespace {
+SearchHeuristic flip(SearchHeuristic h) {
+  return h == SearchHeuristic::PaperOrder ? SearchHeuristic::SmallestDomain
+                                          : SearchHeuristic::PaperOrder;
+}
+}  // namespace
+
+Solution Solver::solvePropagation(
+    const std::map<std::string, ExprPtr>& initial) {
+  propagators_ = makePropagators(config_.vocab);
+  conflict_ = ConflictInfo{};
+  nodeCounter_ = 0;
+  ProofLog* proof = config_.proof;
+  if (proof != nullptr) proof->beginSearch();
+
+  Solution out;
+  SearchHeuristic heuristic = config_.search.heuristic;
+  std::size_t budget = config_.search.restartBudget == 0
+                           ? maxSteps_
+                           : config_.search.restartBudget;
+  std::size_t attempt = 0;
+  while (true) {
+    budgetHit_ = false;
+    stepCap_ = std::min(steps_ + budget, maxSteps_);
+    out.failure.clear();
+    std::vector<std::string> order;
+    if (searchNode(initial, order, out, /*parentId=*/0, /*branchedSymbol=*/"",
+                   heuristic)) {
+      out.conflict = ConflictInfo{};
+      if (proof != nullptr) proof->solution(out.order, out.assignments);
+      return out;
+    }
+    if (!budgetHit_) {
+      // Genuine exhaustion: the system is unsatisfiable under the current
+      // vocabulary (or unprovable by the lemma engine).
+      out.ok = false;
+      out.conflict = conflict_;
+      if (conflict_.valid()) {
+        out.failure = "infeasible vocabulary: " + conflict_.toString();
+      } else if (out.failure.empty()) {
+        out.failure = "no resolution found";
+      }
+      if (proof != nullptr) {
+        proof->infeasible(conflict_.valid() ? conflict_.toString()
+                                            : out.failure);
+      }
+      return out;
+    }
+    if (steps_ >= maxSteps_) {
+      out.ok = false;
+      out.failure = "search budget exhausted";
+      out.conflict = conflict_;
+      return out;
+    }
+    // Restart with the alternate heuristic and a grown budget; the step
+    // count carries over so the total stays bounded by maxSteps_.
+    ++attempt;
+    ++out.stats.restarts;
+    heuristic = attempt == 1 ? flip(config_.search.heuristic)
+                             : config_.search.heuristic;
+    budget = static_cast<std::size_t>(
+        static_cast<double>(budget) *
+        std::max(1.0, config_.search.restartGrowth));
+    if (proof != nullptr) {
+      proof->restart(attempt, constraint::toString(heuristic), budget);
+    }
+  }
+}
+
+bool Solver::searchNode(const std::map<std::string, ExprPtr>& partial,
+                        std::vector<std::string>& order, Solution& out,
+                        std::size_t parentId,
+                        const std::string& branchedSymbol,
+                        SearchHeuristic heuristic) {
+  ProofLog* proof = config_.proof;
+  if (++steps_ > stepCap_) {
+    budgetHit_ = true;
+    if (proof != nullptr) proof->budget(parentId);
+    return false;
+  }
+  const std::size_t id = nodeCounter_++;
+  if (proof != nullptr) proof->node(id, parentId, branchedSymbol);
+
+  const System c = system_.substituted(partial);
+  const std::set<std::string> open = c.openSymbols();
+  if (open.empty()) {
+    const std::string bad = checkResolved(c, rangeFns_);
+    if (!bad.empty()) {
+      if (out.failure.empty()) out.failure = "unprovable conjunct: " + bad;
+      if (proof != nullptr) proof->leafBad(id, bad);
+      return false;
+    }
+    if (proof != nullptr) proof->leafOk(id);
+    out.ok = true;
+    out.assignments = partial;
+    out.order = order;
+    out.resolved = c;
+    return true;
+  }
+
+  // The paper's candidate generation seeds this node's domain store; the
+  // candidates keep their Algorithm 2 order.
+  DomainStore dom;
+  for (const Candidate& cand : candidates(c)) {
+    dom.add(cand.symbol, cand.expr);
+  }
+  if (proof != nullptr) {
+    for (std::size_t i = 0; i < dom.size(); ++i) {
+      proof->candidate(id, i, dom.entry(i).symbol, dom.entry(i).expr);
+    }
+  }
+
+  // Propagate to fixpoint through the watched-constraint queue: seed with
+  // the propagators affected by the branching assignment (all of them at
+  // the root, and always those that consume the node-local candidate
+  // lists), then chase domain changes.
+  PropagationContext ctx;
+  ctx.dom = &dom;
+  ctx.partial = &partial;
+  ctx.system = &c;
+  ctx.bounds.regionSizes = &config_.regionSizes;
+  ctx.bounds.pieces = config_.pieces;
+  ctx.bounds.rangeFns = &rangeFns_;
+  ctx.bounds.regionOf = [&c](const std::string& sym) {
+    return c.hasSymbol(sym) ? c.regionOf(sym) : std::string();
+  };
+  ctx.proof = proof;
+  ctx.nodeId = id;
+  ctx.stats = &out.stats;
+
+  std::vector<std::size_t> queue;
+  std::vector<char> queued(propagators_.size(), 0);
+  auto enqueue = [&](std::size_t i) {
+    if (queued[i] == 0) {
+      queued[i] = 1;
+      queue.push_back(i);
+    }
+  };
+  for (std::size_t i = 0; i < propagators_.size(); ++i) {
+    if (branchedSymbol.empty() || propagators_[i]->rerunEveryNode() ||
+        propagators_[i]->watches().contains(branchedSymbol)) {
+      enqueue(i);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t i = queue[head];
+    queued[i] = 0;
+    ctx.changed.clear();
+    propagators_[i]->propagate(ctx);
+    ++out.stats.propagations;
+    if (ctx.refuted) break;
+    for (const std::string& sym : ctx.changed) {
+      for (std::size_t j = 0; j < propagators_.size(); ++j) {
+        if (j != i && propagators_[j]->watches().contains(sym)) enqueue(j);
+      }
+    }
+  }
+  if (ctx.conflict.valid() && !conflict_.valid()) conflict_ = ctx.conflict;
+  if (ctx.refuted) {
+    // A symbol was refuted for every possible expression: no extension of
+    // this node can assign it, so the node fails outright.
+    return false;
+  }
+
+  std::set<std::string> tried;  // avoid retrying identical equalities
+  for (std::size_t idx : dom.order(heuristic)) {
+    if (!dom.live(idx)) continue;
+    const DomainStore::Entry& entry = dom.entry(idx);
+    if (!tried.insert(entry.symbol + " = " + entry.expr->toString()).second) {
+      if (proof != nullptr) proof->dedup(id, idx);
+      continue;
+    }
+    std::map<std::string, ExprPtr> next = partial;
+    next[entry.symbol] = entry.expr;
+    // Ground the new equality against earlier assignments so every value
+    // stays fully substituted.
+    for (auto& [sym, expr] : next) {
+      expr = dpl::substitute(expr, next);
+    }
+    order.push_back(entry.symbol);
+    if (proof != nullptr) proof->branch(id, idx);
+    ++out.stats.branches;
+    if (searchNode(next, order, out, id, entry.symbol, heuristic)) {
+      return true;
+    }
+    ++out.stats.backtracks;
+    if (proof != nullptr) proof->backtrack(id);
+    order.pop_back();
+    if (budgetHit_) return false;
+  }
+  if (proof != nullptr) proof->exhausted(id);
+  if (out.failure.empty()) {
+    out.failure = "no candidate resolves symbol set";
+  }
+  return false;
+}
+
+// ---- shared candidate generation ----------------------------------------
 
 std::vector<ExprPtr> Solver::externalCandidates(const System& c,
                                                 const std::string& region,
@@ -135,6 +347,8 @@ std::vector<Solver::Candidate> Solver::candidates(const System& c) const {
   }
   return cands;
 }
+
+// ---- legacy syntax-directed engine (differential reference) --------------
 
 bool Solver::solveRec(const std::map<std::string, ExprPtr>& partial,
                       std::vector<std::string>& order, Solution& out) {

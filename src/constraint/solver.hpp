@@ -1,14 +1,48 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "constraint/propagate.hpp"
 #include "constraint/system.hpp"
+#include "constraint/vocab.hpp"
 #include "dpl/program.hpp"
 
 namespace dpart::constraint {
+
+class ProofLog;
+
+/// Which resolution engine runs the search.
+enum class SolverEngine {
+  /// CP propagation loop: per-node domain stores over the paper's candidate
+  /// expressions, watched-constraint propagator queue for the external
+  /// vocabulary, restartable search heuristics, optional proof logging.
+  /// With an empty vocabulary its search — and therefore its solutions —
+  /// are identical to SyntaxDirected (differential-tested).
+  Propagation,
+  /// The original Algorithm 2 recursive resolution, kept as the reference
+  /// implementation for differential testing.
+  SyntaxDirected,
+};
+
+/// Per-solve configuration of the propagation engine.
+struct SolverConfig {
+  SolverEngine engine = SolverEngine::Propagation;
+  /// Vocabulary constraints translated onto this system's symbols.
+  SolverVocabulary vocab;
+  /// |R| per region name (propagator arithmetic; may be empty, in which
+  /// case vocabulary propagators never fire).
+  std::map<std::string, std::size_t> regionSizes;
+  /// Piece count partitions will be materialized at (0 = unknown).
+  std::size_t pieces = 0;
+  SearchOptions search;
+  /// Proof certificate sink; the caller emits the header (model + system)
+  /// and the solver appends the search trail. nullptr disables logging.
+  ProofLog* proof = nullptr;
+};
 
 /// Result of constraint resolution.
 struct Solution {
@@ -22,6 +56,11 @@ struct Solution {
   std::vector<std::string> order;
   /// The fully substituted, verified system (diagnostics / tests).
   System resolved;
+  /// Propagation-engine counters (all zero under SyntaxDirected).
+  SolveStats stats;
+  /// First-conflict provenance when the failure stems from the external
+  /// vocabulary (valid() iff a propagator emptied a symbol's options).
+  ConflictInfo conflict;
 
   /// Emits the solution as a DPL program with subexpression CSE, so derived
   /// partitions reference earlier ones (paper Fig. 2b / Fig. 10b shapes).
@@ -41,10 +80,17 @@ struct Solution {
 ///  3. for DISJ/COMP symbols in descending subset-depth order: externally
 ///     provided partitions first (partition reuse, Section 3.3), then
 ///     equal(R) (L1).
+///
+/// The default engine wraps that candidate generation in a CP propagation
+/// loop (constraint/propagate): each search node's candidates seed a domain
+/// store, vocabulary propagators prune it through a watched-constraint
+/// queue, and the branching order is a restartable heuristic. See
+/// docs/solver.md.
 class Solver {
  public:
   /// `rangeFns` lists range-valued fn ids (Section 4 lemma exclusions).
   Solver(System system, std::set<std::string> rangeFns);
+  Solver(System system, std::set<std::string> rangeFns, SolverConfig config);
 
   /// Solves, optionally starting from initial equalities (used both for
   /// external fixes and for unification consistency checks, where values may
@@ -52,8 +98,8 @@ class Solver {
   [[nodiscard]] Solution solve(
       const std::map<std::string, ExprPtr>& initial = {});
 
-  /// Search budget (backtracking steps); generous default, never hit by the
-  /// paper's benchmarks.
+  /// Search budget (backtracking steps across all restart attempts);
+  /// generous default, never hit by the paper's benchmarks.
   void setMaxSteps(std::size_t n) { maxSteps_ = n; }
 
  private:
@@ -64,6 +110,12 @@ class Solver {
 
   bool solveRec(const std::map<std::string, ExprPtr>& partial,
                 std::vector<std::string>& order, Solution& out);
+  bool searchNode(const std::map<std::string, ExprPtr>& partial,
+                  std::vector<std::string>& order, Solution& out,
+                  std::size_t parentId, const std::string& branchedSymbol,
+                  SearchHeuristic heuristic);
+  [[nodiscard]] Solution solvePropagation(
+      const std::map<std::string, ExprPtr>& initial);
   [[nodiscard]] std::vector<Candidate> candidates(const System& c) const;
   [[nodiscard]] std::vector<ExprPtr> externalCandidates(
       const System& c, const std::string& region, bool needDisj,
@@ -71,8 +123,14 @@ class Solver {
 
   System system_;
   std::set<std::string> rangeFns_;
+  SolverConfig config_;
   std::size_t maxSteps_ = 200000;
   std::size_t steps_ = 0;
+  std::size_t stepCap_ = 0;     ///< current attempt's cumulative step cap
+  bool budgetHit_ = false;      ///< current attempt stopped on its cap
+  std::size_t nodeCounter_ = 0;
+  ConflictInfo conflict_;
+  std::vector<std::unique_ptr<Propagator>> propagators_;
 };
 
 }  // namespace dpart::constraint

@@ -1,0 +1,36 @@
+#include "constraint/vocab.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dpart::constraint {
+
+std::string Vocabulary::rendered() const {
+  std::vector<std::string> lines;
+  for (const CapacityBound& c : capacities) {
+    lines.push_back("capacity " + c.region + " " +
+                    std::to_string(c.maxPerPiece));
+  }
+  for (const FieldAffinity& a : affinities) {
+    // Normalize pair order so {A,B} and {B,A} render identically.
+    const std::string& lo = std::min(a.fieldA, a.fieldB);
+    const std::string& hi = std::max(a.fieldA, a.fieldB);
+    lines.push_back(std::string(a.together ? "colocate " : "anti ") + lo +
+                    " " + hi);
+  }
+  for (const ReplicationBound& r : replications) {
+    std::ostringstream os;
+    os << "replicate " << r.region << " " << r.minFactor << " "
+       << r.maxFactor;
+    lines.push_back(os.str());
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dpart::constraint

@@ -1,10 +1,13 @@
 #include "parallelize/parallelize.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "constraint/canonical.hpp"
 #include "constraint/entail.hpp"
+#include "constraint/proof.hpp"
 #include "constraint/solver.hpp"
 #include "constraint/unify.hpp"
 #include "parallelize/solve_cache.hpp"
@@ -44,6 +47,165 @@ std::string ParallelPlan::toString() const {
   return os.str();
 }
 
+namespace {
+
+void writeProofFile(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  DPART_CHECK(os.good(), "cannot open proof file '" + path + "'");
+  os << text;
+  os.flush();
+  DPART_CHECK(os.good(), "failed writing proof file '" + path + "'");
+}
+
+/// Renders one expectation as the certificate's key=value tokens
+/// (provenance text contains spaces and is omitted; the checker re-derives
+/// obligations from the plan section, so `why` is display-only anyway).
+std::string expectationTokens(const region::PartitionExpectation& e) {
+  std::ostringstream os;
+  os << "partition=" << e.partition;
+  if (!e.region.empty()) os << " region=" << e.region;
+  if (e.pieces > 0) os << " pieces=" << e.pieces;
+  if (e.disjoint) os << " disjoint=1";
+  if (e.complete) os << " complete=1";
+  if (!e.containedIn.empty()) os << " containedIn=" << e.containedIn;
+  if (e.maxPieceElems > 0) os << " capacity=" << e.maxPieceElems;
+  if (e.replicationMin > 0) os << " replicationMin=" << e.replicationMin;
+  if (e.replicationMax > 0) os << " replicationMax=" << e.replicationMax;
+  if (!e.colocateWith.empty()) os << " colocateWith=" << e.colocateWith;
+  if (!e.antiAffineWith.empty()) {
+    os << " antiAffineWith=" << e.antiAffineWith;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<region::PartitionExpectation> planExpectations(
+    const ParallelPlan& plan, std::size_t pieces) {
+  // Merged per symbol: unification reuses partitions across loops, and the
+  // strongest requirement from any use applies.
+  std::map<std::string, region::PartitionExpectation> merged;
+  auto note = [&](const std::string& symbol, const std::string& regionName,
+                  bool disjoint, bool complete, const std::string& containedIn,
+                  const std::string& why) {
+    auto [it, inserted] = merged.try_emplace(symbol);
+    region::PartitionExpectation& e = it->second;
+    if (inserted) {
+      e.partition = symbol;
+      e.pieces = pieces;
+    }
+    if (e.region.empty()) e.region = regionName;
+    e.disjoint = e.disjoint || disjoint;
+    e.complete = e.complete || complete;
+    if (e.containedIn.empty()) e.containedIn = containedIn;
+    if (e.why.empty()) e.why = why;
+  };
+
+  for (const PlannedLoop& pl : plan.loops) {
+    const std::string& ln = pl.loop->name;
+    note(pl.iterPartition, pl.loop->iterRegion, /*disjoint=*/!pl.relaxed,
+         /*complete=*/true, "", "iteration partition of loop '" + ln + "'");
+    pl.loop->forEachStmt([&](const ir::Stmt& s) {
+      switch (s.kind) {
+        case ir::StmtKind::LoadF64:
+        case ir::StmtKind::LoadIdx:
+        case ir::StmtKind::LoadRange:
+        case ir::StmtKind::StoreF64:
+        case ir::StmtKind::ReduceF64: {
+          auto it = pl.accessPartition.find(s.id);
+          if (it == pl.accessPartition.end()) break;
+          bool disjoint = false;
+          auto rit = pl.reduces.find(s.id);
+          if (s.kind == ir::StmtKind::ReduceF64 && rit != pl.reduces.end() &&
+              rit->second.strategy == optimize::ReduceStrategy::Direct) {
+            // The optimizer picks Direct only for provably disjoint targets.
+            disjoint = true;
+          }
+          note(it->second, s.region, disjoint, /*complete=*/false, "",
+               "access partition of stmt " + std::to_string(s.id) +
+                   " in loop '" + ln + "'");
+          break;
+        }
+        default:
+          break;
+      }
+    });
+    for (const auto& [stmtId, rp] : pl.reduces) {
+      // Resolve the reduced region for partitions not used as a direct
+      // access partition (guard / private / shared symbols).
+      std::string reducedRegion;
+      pl.loop->forEachStmt([&](const ir::Stmt& s) {
+        if (s.id == stmtId) reducedRegion = s.region;
+      });
+      switch (rp.strategy) {
+        case optimize::ReduceStrategy::Direct:
+          break;  // covered via the access partition above
+        case optimize::ReduceStrategy::Guarded:
+          // Guards must cover every target exactly once.
+          note(rp.partition, reducedRegion, /*disjoint=*/true,
+               /*complete=*/true, "",
+               "guard partition of reduce stmt " + std::to_string(stmtId) +
+                   " in loop '" + ln + "'");
+          break;
+        case optimize::ReduceStrategy::Buffered:
+          note(rp.partition, reducedRegion, false, false, "",
+               "buffered reduction partition of stmt " +
+                   std::to_string(stmtId) + " in loop '" + ln + "'");
+          break;
+        case optimize::ReduceStrategy::PrivateSplit:
+          note(rp.privatePart, reducedRegion, /*disjoint=*/true, false,
+               rp.partition,
+               "private sub-partition of reduce stmt " +
+                   std::to_string(stmtId) + " in loop '" + ln + "'");
+          note(rp.sharedPart, reducedRegion, false, false, rp.partition,
+               "shared remainder of reduce stmt " + std::to_string(stmtId) +
+                   " in loop '" + ln + "'");
+          break;
+      }
+    }
+  }
+
+  // ---- External-vocabulary obligations (constraint/vocab) ----
+  // The solver already enforced these symbolically; the runtime re-checks
+  // them against the materialized partitions, so a model/ground-truth
+  // mismatch surfaces as a verification failure rather than silent
+  // misplacement.
+  const constraint::SolverVocabulary& v = plan.solverVocab;
+  for (const auto& [sym, cap] : v.capacity) {
+    auto it = merged.find(sym);
+    if (it != merged.end()) it->second.maxPieceElems = cap;
+  }
+  for (const auto& [sym, bounds] : v.replication) {
+    auto it = merged.find(sym);
+    if (it == merged.end()) continue;
+    it->second.replicationMin = bounds.first;
+    it->second.replicationMax = bounds.second;
+  }
+  for (const constraint::SolverVocabulary::SymbolPair& p : v.colocated) {
+    if (auto it = merged.find(p.symA);
+        it != merged.end() && it->second.colocateWith.empty()) {
+      it->second.colocateWith = p.symB;
+    } else if (auto jt = merged.find(p.symB);
+               jt != merged.end() && jt->second.colocateWith.empty()) {
+      jt->second.colocateWith = p.symA;
+    }
+  }
+  for (const constraint::SolverVocabulary::SymbolPair& p : v.antiAffine) {
+    if (auto it = merged.find(p.symA);
+        it != merged.end() && it->second.antiAffineWith.empty()) {
+      it->second.antiAffineWith = p.symB;
+    } else if (auto jt = merged.find(p.symB);
+               jt != merged.end() && jt->second.antiAffineWith.empty()) {
+      jt->second.antiAffineWith = p.symA;
+    }
+  }
+
+  std::vector<region::PartitionExpectation> out;
+  out.reserve(merged.size());
+  for (auto& [_, e] : merged) out.push_back(std::move(e));
+  return out;
+}
+
 AutoParallelizer::AutoParallelizer(const region::World& world, Options options)
     : world_(world), options_(options) {}
 
@@ -69,6 +231,50 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   result.program = std::make_shared<const ir::Program>(program);
   const std::set<std::string> rangeFns = rangeFnIds();
   Timer timer;
+
+  // ---- External-vocabulary validation (shape errors are BadRequest-class
+  // failures; *infeasibility* is only ever decided by the solver) ----
+  const constraint::Vocabulary& vocab = options_.vocab;
+  if (!vocab.empty()) {
+    DPART_CHECK(options_.engine == constraint::SolverEngine::Propagation,
+                "the syntax-directed engine does not support external "
+                "vocabularies");
+    for (const constraint::CapacityBound& cb : vocab.capacities) {
+      DPART_CHECK(world_.hasRegion(cb.region),
+                  "capacity bound names unknown region '" + cb.region + "'");
+      DPART_CHECK(cb.maxPerPiece > 0,
+                  "capacity bound on '" + cb.region + "' must be positive");
+    }
+    for (const constraint::ReplicationBound& rb : vocab.replications) {
+      DPART_CHECK(world_.hasRegion(rb.region),
+                  "replication bound names unknown region '" + rb.region +
+                      "'");
+      DPART_CHECK(rb.minFactor >= 0,
+                  "replication floor on '" + rb.region +
+                      "' must be non-negative");
+      DPART_CHECK(rb.maxFactor <= 0 || rb.maxFactor >= rb.minFactor,
+                  "replication bounds on '" + rb.region + "' are inverted");
+    }
+    for (const constraint::FieldAffinity& fa : vocab.affinities) {
+      for (const std::string& f : {fa.fieldA, fa.fieldB}) {
+        const auto dot = f.find('.');
+        DPART_CHECK(dot != std::string::npos && dot > 0 &&
+                        dot + 1 < f.size(),
+                    "affinity field '" + f + "' must be 'region.field'");
+        DPART_CHECK(world_.hasRegion(f.substr(0, dot)),
+                    "affinity field '" + f + "' names unknown region '" +
+                        f.substr(0, dot) + "'");
+      }
+    }
+    DPART_CHECK(vocab.capacities.empty() && vocab.replications.empty()
+                    ? true
+                    : options_.pieces > 0,
+                "Options::pieces must be set when capacity or replication "
+                "bounds are present");
+  }
+  const bool wantProof = !options_.proofFile.empty();
+  constraint::ProofLog proofLog;
+  constraint::SolverVocabulary svocab;
 
   // ---- Inference (Algorithm 1) ----
   struct LoopState {
@@ -180,14 +386,33 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
     std::vector<const System*> exts;
     exts.reserve(externals_.size());
     for (const System& ext : externals_) exts.push_back(&ext);
-    canon = constraint::canonicalize(canonLoops, exts, rangeFns, optionBits);
+    // Vocabulary constraints reference concrete region names and sizes —
+    // exactly what canonical isomorphism abstracts away — so they join the
+    // key as raw material: two compiles only share a key when their
+    // vocabularies, piece counts and region sizes agree verbatim.
+    std::string extraKey;
+    if (!vocab.empty()) {
+      std::ostringstream ek;
+      ek << "pieces " << options_.pieces << '\n' << vocab.rendered();
+      for (const std::string& r : world_.regionNames()) {
+        ek << "size " << r << ' ' << world_.region(r).size() << '\n';
+      }
+      extraKey = ek.str();
+    }
+    canon = constraint::canonicalize(canonLoops, exts, rangeFns, optionBits,
+                                     extraKey);
   }
   result.stats.cacheKey = canon.hash;
   canonSpan.end();
   result.stats.canonMs = timer.millis();
   timer.reset();
 
-  SolveCache* cache = options_.solveCache;
+  // Constrained and proof-emitting compiles bypass the cache in both
+  // directions: rebinding a cached solve under renamed symbols cannot
+  // preserve vocabulary semantics (which bind to concrete names), and a
+  // certificate must describe an actual solve, not a rebound one.
+  SolveCache* cache =
+      (!vocab.empty() || wantProof) ? nullptr : options_.solveCache;
   std::shared_ptr<const SolveCacheEntry> cached =
       cache ? cache->find(canon.hash, canon.rendering) : nullptr;
 
@@ -255,6 +480,83 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
       return sym;
     };
 
+    // ---- Vocabulary translation onto post-unification symbols ----
+    // Capacity / replication bounds on a region apply to every open symbol
+    // partitioning it; field affinities bind the access partitions of the
+    // named "region.field" statements (pairs keep the field names for
+    // first-conflict provenance).
+    if (!vocab.empty()) {
+      auto openSymbolsOf = [&](const std::string& regionName) {
+        std::vector<std::string> out;
+        for (const std::string& sym : combined.symbols()) {
+          if (!combined.isFixed(sym) &&
+              combined.regionOf(sym) == regionName) {
+            out.push_back(sym);
+          }
+        }
+        return out;
+      };
+      for (const constraint::CapacityBound& cb : vocab.capacities) {
+        for (const std::string& sym : openSymbolsOf(cb.region)) {
+          auto [it, inserted] =
+              svocab.capacity.try_emplace(sym, cb.maxPerPiece);
+          if (!inserted) it->second = std::min(it->second, cb.maxPerPiece);
+        }
+      }
+      for (const constraint::ReplicationBound& rb : vocab.replications) {
+        for (const std::string& sym : openSymbolsOf(rb.region)) {
+          auto [it, inserted] = svocab.replication.try_emplace(
+              sym, std::make_pair(rb.minFactor, rb.maxFactor));
+          if (inserted) continue;
+          it->second.first = std::max(it->second.first, rb.minFactor);
+          if (rb.maxFactor > 0) {
+            it->second.second = it->second.second <= 0
+                                    ? rb.maxFactor
+                                    : std::min(it->second.second,
+                                               rb.maxFactor);
+          }
+        }
+      }
+      auto fieldSymbols = [&](const std::string& fieldName) {
+        const auto dot = fieldName.find('.');
+        const std::string regionName = fieldName.substr(0, dot);
+        const std::string field = fieldName.substr(dot + 1);
+        std::set<std::string> syms;
+        for (const LoopState& st : loops) {
+          for (const analysis::AccessInfo& a : st.accesses.accesses) {
+            if (a.stmt->region == regionName && a.stmt->field == field) {
+              syms.insert(finalName(st.constraints.stmtSymbol.at(a.stmt->id)));
+            }
+          }
+        }
+        DPART_CHECK(!syms.empty(), "affinity field '" + fieldName +
+                                       "' matches no access in the program");
+        return syms;
+      };
+      std::set<std::pair<std::string, std::string>> seenCo, seenAnti;
+      for (const constraint::FieldAffinity& fa : vocab.affinities) {
+        for (const std::string& sa : fieldSymbols(fa.fieldA)) {
+          for (const std::string& sb : fieldSymbols(fa.fieldB)) {
+            // Unification may have collapsed both fields onto one symbol:
+            // co-location then already holds structurally, while
+            // anti-affinity becomes a (refutable) self-conflict the
+            // propagator reports with field provenance.
+            if (fa.together && sa == sb) continue;
+            const auto key = std::minmax(sa, sb);
+            auto& seen = fa.together ? seenCo : seenAnti;
+            if (!seen.insert(key).second) continue;
+            constraint::SolverVocabulary::SymbolPair pair;
+            pair.symA = sa;
+            pair.symB = sb;
+            pair.fieldA = fa.fieldA;
+            pair.fieldB = fa.fieldB;
+            (fa.together ? svocab.colocated : svocab.antiAffine)
+                .push_back(std::move(pair));
+          }
+        }
+      }
+    }
+
     // ---- Section 5.1 first strategy: disjoint reduction partitions ----
     // For non-relaxed loops whose uncentered reductions all target one
     // partition symbol, demand DISJ on it so the solver derives a preimage
@@ -272,6 +574,15 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
       }
     }
 
+    constraint::SolverConfig scfg;
+    scfg.engine = options_.engine;
+    scfg.vocab = svocab;
+    scfg.pieces = options_.pieces;
+    scfg.search = options_.search;
+    for (const std::string& r : world_.regionNames()) {
+      scfg.regionSizes[r] = static_cast<std::size_t>(world_.region(r).size());
+    }
+
     {
       System attempt = combined;
       for (const std::string& sym : disjointified) {
@@ -279,15 +590,73 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
           attempt.addDisj(dpl::symbol(sym));
         }
       }
-      constraint::Solver solver(attempt, rangeFns);
+      constraint::Solver solver(attempt, rangeFns, scfg);
       sol = solver.solve();
+      bool usedAttempt = true;
       if (!sol.ok && !disjointified.empty()) {
         disjointified.clear();
-        constraint::Solver plain(combined, rangeFns);
+        constraint::Solver plain(combined, rangeFns, scfg);
         sol = plain.solve();
+        usedAttempt = false;
+      }
+      if (wantProof) {
+        // Emit the certificate header (ground model + decisive system +
+        // vocabulary), then replay the decisive solve with logging: the
+        // solver is deterministic, so the trail reproduces the result
+        // above exactly.
+        const System& decisive = usedAttempt ? attempt : combined;
+        proofLog.begin(options_.pieces);
+        for (const std::string& r : world_.regionNames()) {
+          proofLog.region(r, static_cast<std::size_t>(world_.region(r)
+                                                          .size()));
+        }
+        for (const std::string& id : world_.fnIds()) {
+          const region::FnDef& fn = world_.fn(id);
+          const region::Index n = world_.region(fn.domainRegion).size();
+          if (fn.isRangeValued()) {
+            std::vector<std::pair<long long, long long>> table;
+            table.reserve(static_cast<std::size_t>(n));
+            for (region::Index i = 0; i < n; ++i) {
+              const region::Run run = world_.evalRange(id, i);
+              table.emplace_back(run.lo, run.hi);
+            }
+            proofLog.rangeFn(id, fn.domainRegion, fn.rangeRegion, table);
+          } else {
+            std::vector<long long> table;
+            table.reserve(static_cast<std::size_t>(n));
+            for (region::Index i = 0; i < n; ++i) {
+              table.push_back(world_.evalPoint(id, i));
+            }
+            proofLog.pointFn(id, fn.domainRegion, fn.rangeRegion, table);
+          }
+        }
+        for (const std::string& sym : decisive.symbols()) {
+          proofLog.symbol(sym, decisive.isFixed(sym), decisive.regionOf(sym));
+        }
+        proofLog.conjuncts(decisive);
+        proofLog.vocabulary(svocab);
+        constraint::SolverConfig pcfg = scfg;
+        pcfg.proof = &proofLog;
+        constraint::Solver logged(decisive, rangeFns, pcfg);
+        const constraint::Solution psol = logged.solve();
+        DPART_CHECK(psol.ok == sol.ok,
+                    "proof replay diverged from the decisive solve");
       }
     }
-    DPART_CHECK(sol.ok, "constraint resolution failed: " + sol.failure);
+    result.stats.solve = sol.stats;
+    if (!sol.ok) {
+      const std::string msg = "constraint resolution failed: " + sol.failure;
+      if (wantProof) {
+        // The certificate already carries the infeasibility trail; write it
+        // before surfacing the failure so the caller can hand it to
+        // tools/proof_check.
+        writeProofFile(options_.proofFile, proofLog.finish());
+        result.stats.proofEvents = proofLog.events();
+        result.stats.proofBytes = proofLog.bytes();
+      }
+      if (sol.conflict.valid()) throw constraint::InfeasibleError(msg);
+      DPART_CHECK(false, msg);
+    }
     solveSpan.end();
     // The relaxation analysis is part of what the paper's Table 1 bills as
     // "solve"; unification is reported on its own row.
@@ -494,6 +863,23 @@ ParallelPlan AutoParallelizer::plan(const ir::Program& program) {
   result.dpl = prog.withCse();
   result.system = sol.resolved;
   result.externalSymbols = std::move(fixedSymbols);
+  result.vocab = vocab;
+  result.solverVocab = std::move(svocab);
+  if (wantProof) {
+    // Close the certificate with the plan section: the final DPL program
+    // and the runtime verifier's expectations, so the checker can evaluate
+    // the model end-to-end and cross-validate against region/verify.
+    for (const dpl::Stmt& s : result.dpl.stmts()) {
+      proofLog.planStmt(s.lhs, s.rhs);
+    }
+    for (const region::PartitionExpectation& e :
+         planExpectations(result, options_.pieces)) {
+      proofLog.expectation(expectationTokens(e));
+    }
+    writeProofFile(options_.proofFile, proofLog.finish());
+    result.stats.proofEvents = proofLog.events();
+    result.stats.proofBytes = proofLog.bytes();
+  }
   result.stats.rewriteMs = timer.millis();
   return result;
 }

@@ -9,10 +9,14 @@
 
 #include "analysis/infer.hpp"
 #include "analysis/parallelizable.hpp"
+#include "constraint/propagate.hpp"
+#include "constraint/solver.hpp"
 #include "constraint/system.hpp"
+#include "constraint/vocab.hpp"
 #include "dpl/program.hpp"
 #include "ir/ir.hpp"
 #include "optimize/reduction_opt.hpp"
+#include "region/verify.hpp"
 #include "region/world.hpp"
 #include "support/trace.hpp"
 
@@ -40,7 +44,28 @@ struct Options {
   /// same canonical constraint-graph form, possibly under renamed symbols,
   /// regions and fns — was compiled before, and its cached solution is
   /// rebound into this program's names. nullptr disables caching.
+  /// Vocabulary-constrained and proof-emitting compiles bypass the cache:
+  /// their solutions depend on concrete region names and sizes, which
+  /// canonical isomorphism deliberately abstracts away. The vocabulary is
+  /// still folded into the canonical key (canonicalize extraKey) so such
+  /// compiles never collide with unconstrained ones.
   SolveCache* solveCache = nullptr;
+  /// External-constraint vocabulary (capacity / co-location / anti-affinity
+  /// / replication); enforced by the propagation engine, checked at runtime
+  /// by region/verify. Empty = no extra constraints.
+  constraint::Vocabulary vocab;
+  /// Piece count partitions will be materialized at; required (> 0) when
+  /// `vocab` carries capacity or replication bounds.
+  std::size_t pieces = 0;
+  /// Which resolution engine runs (SyntaxDirected is the differential
+  /// reference; it rejects non-empty vocabularies).
+  constraint::SolverEngine engine = constraint::SolverEngine::Propagation;
+  /// Search heuristic / restart schedule for the propagation engine.
+  constraint::SearchOptions search;
+  /// When non-empty, write a machine-checkable proof certificate of the
+  /// solve (DPRF format, see docs/solver.md) to this path — on success and
+  /// on infeasibility alike. tools/proof_check replays it.
+  std::string proofFile;
 };
 
 /// Timing breakdown of one auto-parallelization run (paper Table 1 rows).
@@ -58,6 +83,13 @@ struct CompileStats {
   std::uint64_t cacheKey = 0;
   /// True when collapse+unify+solve was served from Options::solveCache.
   bool cacheHit = false;
+  /// Propagation-engine counters (compile.propagate.* gauges; all zero on a
+  /// cache hit or under the syntax-directed engine).
+  constraint::SolveStats solve;
+  /// Proof-certificate size (compile.proof.* gauges; zero when no
+  /// certificate was requested).
+  std::size_t proofEvents = 0;
+  std::size_t proofBytes = 0;
 };
 
 /// Execution plan for one loop: which partition each access uses, how each
@@ -84,9 +116,26 @@ struct ParallelPlan {
   constraint::System system;  ///< final resolved system (diagnostics)
   CompileStats stats;
   std::set<std::string> externalSymbols;  ///< partitions the caller must bind
+  /// The vocabulary this plan was compiled under, in both user (field) and
+  /// solver (symbol) terms — planExpectations turns them into runtime
+  /// verification obligations.
+  constraint::Vocabulary vocab;
+  constraint::SolverVocabulary solverVocab;
 
   [[nodiscard]] std::string toString() const;
 };
+
+/// The partition expectations a plan's execution must satisfy, merged per
+/// final partition symbol: iteration partitions must be disjoint (unless
+/// relaxed) and complete, guarded-reduction partitions disjoint+complete,
+/// private sub-partitions disjoint and contained in their reduce partition —
+/// plus, under a vocabulary, capacity / replication / co-location /
+/// anti-affinity obligations. runtime::PlanExecutor verifies these against
+/// every materialized partition (region/verify) before launching, and proof
+/// certificates embed them so tools/proof_check can cross-validate the
+/// solver's model against the runtime's ground truth.
+[[nodiscard]] std::vector<region::PartitionExpectation> planExpectations(
+    const ParallelPlan& plan, std::size_t pieces);
 
 /// Resolves the solver-synthesized `equal` base partition behind a loop's
 /// iteration partition: follows alias statements (`P = Q`) in the plan's DPL

@@ -15,6 +15,10 @@ const char* toString(ViolationKind k) {
     case ViolationKind::NotDisjoint: return "NotDisjoint";
     case ViolationKind::NotComplete: return "NotComplete";
     case ViolationKind::NotContained: return "NotContained";
+    case ViolationKind::CapacityExceeded: return "CapacityExceeded";
+    case ViolationKind::ReplicationExceeded: return "ReplicationExceeded";
+    case ViolationKind::NotColocated: return "NotColocated";
+    case ViolationKind::NotSeparated: return "NotSeparated";
   }
   return "?";
 }
@@ -121,6 +125,78 @@ VerifyReport verifyPartitions(
                 "), first at index " +
                 std::to_string(missing.lowerBound()) + provenance(e));
       }
+    }
+
+    if (e.maxPieceElems > 0) {
+      for (std::size_t j = 0; j < p.count(); ++j) {
+        if (static_cast<std::size_t>(p.sub(j).size()) > e.maxPieceElems) {
+          add(ViolationKind::CapacityExceeded, e.partition,
+              "subregion " + std::to_string(j) + " holds " +
+                  std::to_string(p.sub(j).size()) +
+                  " element(s), capacity bound is " +
+                  std::to_string(e.maxPieceElems) + provenance(e));
+          break;
+        }
+      }
+    }
+
+    if (e.replicationMin > 0.0 || e.replicationMax > 0.0) {
+      std::size_t total = 0;
+      for (std::size_t j = 0; j < p.count(); ++j) {
+        total += static_cast<std::size_t>(p.sub(j).size());
+      }
+      const double scaled = static_cast<double>(total);
+      const double base = static_cast<double>(size);
+      if (e.replicationMin > 0.0 && scaled + 1e-9 < e.replicationMin * base) {
+        add(ViolationKind::ReplicationExceeded, e.partition,
+            "materializes " + std::to_string(total) +
+                " element(s) total, below the replication floor of " +
+                std::to_string(e.replicationMin) + " x " +
+                std::to_string(size) + provenance(e));
+      }
+      if (e.replicationMax > 0.0 && scaled > e.replicationMax * base + 1e-9) {
+        add(ViolationKind::ReplicationExceeded, e.partition,
+            "materializes " + std::to_string(total) +
+                " element(s) total, above the replication ceiling of " +
+                std::to_string(e.replicationMax) + " x " +
+                std::to_string(size) + provenance(e));
+      }
+    }
+
+    auto pairwise = [&](const std::string& partner, bool wantEqual) {
+      auto pit = env.find(partner);
+      if (pit == env.end()) {
+        add(ViolationKind::MissingPartition, partner,
+            std::string(wantEqual ? "co-location" : "anti-affinity") +
+                " partner of '" + e.partition +
+                "' not present in the evaluated environment" + provenance(e));
+        return;
+      }
+      const Partition& q = pit->second;
+      const std::size_t n = std::min(p.count(), q.count());
+      for (std::size_t j = 0; j < n; ++j) {
+        if (wantEqual) {
+          if (!p.sub(j).containsAll(q.sub(j)) ||
+              !q.sub(j).containsAll(p.sub(j))) {
+            add(ViolationKind::NotColocated, e.partition,
+                "subregion " + std::to_string(j) + " differs from '" +
+                    partner + "'" + provenance(e));
+            break;
+          }
+        } else if (p.sub(j).intersects(q.sub(j))) {
+          const IndexSet overlap = p.sub(j).intersectWith(q.sub(j));
+          add(ViolationKind::NotSeparated, e.partition,
+              "subregion " + std::to_string(j) + " shares " +
+                  std::to_string(overlap.size()) + " element(s) with '" +
+                  partner + "', first at index " +
+                  std::to_string(overlap.lowerBound()) + provenance(e));
+          break;
+        }
+      }
+    };
+    if (!e.colocateWith.empty()) pairwise(e.colocateWith, /*wantEqual=*/true);
+    if (!e.antiAffineWith.empty()) {
+      pairwise(e.antiAffineWith, /*wantEqual=*/false);
     }
 
     if (!e.containedIn.empty()) {

@@ -25,6 +25,18 @@ struct PartitionExpectation {
   /// Provenance shown in violation messages, e.g. "iteration partition of
   /// loop 'flux'".
   std::string why;
+
+  // ---- external-vocabulary obligations (constraint/vocab) ----
+  /// When > 0: no piece may hold more than this many elements (capacity).
+  std::size_t maxPieceElems = 0;
+  /// When > 0: total materialized elements (summed over pieces) must be
+  /// >= replicationMin x |region| / <= replicationMax x |region|.
+  double replicationMin = 0.0;
+  double replicationMax = 0.0;  ///< <= 0 means unbounded above
+  /// When set: every piece must equal the partner partition's same piece
+  /// (co-location) / be disjoint from it (anti-affinity).
+  std::string colocateWith;
+  std::string antiAffineWith;
 };
 
 enum class ViolationKind {
@@ -35,6 +47,10 @@ enum class ViolationKind {
   NotDisjoint,
   NotComplete,
   NotContained,
+  CapacityExceeded,
+  ReplicationExceeded,
+  NotColocated,
+  NotSeparated,
 };
 
 const char* toString(ViolationKind k);

@@ -133,97 +133,6 @@ const Partition& PlanExecutor::partition(const std::string& name) const {
   return evaluator_.partition(name);
 }
 
-std::vector<region::PartitionExpectation> planExpectations(
-    const parallelize::ParallelPlan& plan, std::size_t pieces) {
-  // Merged per symbol: unification reuses partitions across loops, and the
-  // strongest requirement from any use applies.
-  std::map<std::string, region::PartitionExpectation> merged;
-  auto note = [&](const std::string& symbol, const std::string& regionName,
-                  bool disjoint, bool complete, const std::string& containedIn,
-                  const std::string& why) {
-    auto [it, inserted] = merged.try_emplace(symbol);
-    region::PartitionExpectation& e = it->second;
-    if (inserted) {
-      e.partition = symbol;
-      e.pieces = pieces;
-    }
-    if (e.region.empty()) e.region = regionName;
-    e.disjoint = e.disjoint || disjoint;
-    e.complete = e.complete || complete;
-    if (e.containedIn.empty()) e.containedIn = containedIn;
-    if (e.why.empty()) e.why = why;
-  };
-
-  for (const parallelize::PlannedLoop& pl : plan.loops) {
-    const std::string& ln = pl.loop->name;
-    note(pl.iterPartition, pl.loop->iterRegion, /*disjoint=*/!pl.relaxed,
-         /*complete=*/true, "", "iteration partition of loop '" + ln + "'");
-    pl.loop->forEachStmt([&](const ir::Stmt& s) {
-      switch (s.kind) {
-        case ir::StmtKind::LoadF64:
-        case ir::StmtKind::LoadIdx:
-        case ir::StmtKind::LoadRange:
-        case ir::StmtKind::StoreF64:
-        case ir::StmtKind::ReduceF64: {
-          auto it = pl.accessPartition.find(s.id);
-          if (it == pl.accessPartition.end()) break;
-          bool disjoint = false;
-          auto rit = pl.reduces.find(s.id);
-          if (s.kind == ir::StmtKind::ReduceF64 && rit != pl.reduces.end() &&
-              rit->second.strategy == ReduceStrategy::Direct) {
-            // The optimizer picks Direct only for provably disjoint targets.
-            disjoint = true;
-          }
-          note(it->second, s.region, disjoint, /*complete=*/false, "",
-               "access partition of stmt " + std::to_string(s.id) +
-                   " in loop '" + ln + "'");
-          break;
-        }
-        default:
-          break;
-      }
-    });
-    for (const auto& [stmtId, rp] : pl.reduces) {
-      // Resolve the reduced region for partitions not used as a direct
-      // access partition (guard / private / shared symbols).
-      std::string reducedRegion;
-      pl.loop->forEachStmt([&](const ir::Stmt& s) {
-        if (s.id == stmtId) reducedRegion = s.region;
-      });
-      switch (rp.strategy) {
-        case ReduceStrategy::Direct:
-          break;  // covered via the access partition above
-        case ReduceStrategy::Guarded:
-          // Guards must cover every target exactly once.
-          note(rp.partition, reducedRegion, /*disjoint=*/true,
-               /*complete=*/true, "",
-               "guard partition of reduce stmt " + std::to_string(stmtId) +
-                   " in loop '" + ln + "'");
-          break;
-        case ReduceStrategy::Buffered:
-          note(rp.partition, reducedRegion, false, false, "",
-               "buffered reduction partition of stmt " +
-                   std::to_string(stmtId) + " in loop '" + ln + "'");
-          break;
-        case ReduceStrategy::PrivateSplit:
-          note(rp.privatePart, reducedRegion, /*disjoint=*/true, false,
-               rp.partition,
-               "private sub-partition of reduce stmt " +
-                   std::to_string(stmtId) + " in loop '" + ln + "'");
-          note(rp.sharedPart, reducedRegion, false, false, rp.partition,
-               "shared remainder of reduce stmt " + std::to_string(stmtId) +
-                   " in loop '" + ln + "'");
-          break;
-      }
-    }
-  }
-
-  std::vector<region::PartitionExpectation> out;
-  out.reserve(merged.size());
-  for (auto& [_, e] : merged) out.push_back(std::move(e));
-  return out;
-}
-
 void PlanExecutor::runLoop(const parallelize::PlannedLoop& loop) {
   preparePartitions();
 

@@ -54,13 +54,10 @@ class NodeLossError : public Error {
 };
 
 /// Derives the legality properties a plan assumes of its evaluated
-/// partitions: iteration partitions complete (and disjoint unless relaxed),
-/// Direct reduction targets disjoint, Guarded reduction partitions disjoint
-/// and complete, private sub-partitions disjoint and contained in their
-/// reduction partition, and every accessed partition in bounds with one
-/// subregion per piece.
-[[nodiscard]] std::vector<region::PartitionExpectation> planExpectations(
-    const parallelize::ParallelPlan& plan, std::size_t pieces);
+/// partitions. The implementation lives in parallelize (proof certificates
+/// embed the same expectations at compile time); this alias keeps the
+/// historical runtime:: spelling working.
+using parallelize::planExpectations;
 
 /// Executes a ParallelPlan: evaluates its DPL program to concrete
 /// partitions, then runs each planned loop as `pieces` tasks on a thread

@@ -54,6 +54,19 @@ struct Session::Impl {
     mx.gauge("compile.canonMs").set(st.canonMs);
     mx.gauge("compile.cacheHit").set(st.cacheHit ? 1 : 0);
     mx.gauge("compile.parallelLoops").set(st.parallelLoops);
+    mx.gauge("compile.propagate.propagations")
+        .set(static_cast<double>(st.solve.propagations));
+    mx.gauge("compile.propagate.prunes")
+        .set(static_cast<double>(st.solve.prunes));
+    mx.gauge("compile.propagate.branches")
+        .set(static_cast<double>(st.solve.branches));
+    mx.gauge("compile.propagate.backtracks")
+        .set(static_cast<double>(st.solve.backtracks));
+    mx.gauge("compile.propagate.restarts")
+        .set(static_cast<double>(st.solve.restarts));
+    mx.gauge("compile.proof.events")
+        .set(static_cast<double>(st.proofEvents));
+    mx.gauge("compile.proof.bytes").set(static_cast<double>(st.proofBytes));
     executor = std::make_unique<runtime::PlanExecutor>(
         w, compiled.parallelPlan(), compiled.pieces(), options);
   }
@@ -161,6 +174,40 @@ SessionBuilder& SessionBuilder::externalConstraint(constraint::System system) {
   return *this;
 }
 
+SessionBuilder& SessionBuilder::capacity(std::string region,
+                                         std::size_t maxPerPiece) {
+  compileOptions_.vocab.capacities.push_back(
+      {std::move(region), maxPerPiece});
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::colocate(std::string fieldA,
+                                         std::string fieldB) {
+  compileOptions_.vocab.affinities.push_back(
+      {std::move(fieldA), std::move(fieldB), /*together=*/true});
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::antiAffinity(std::string fieldA,
+                                             std::string fieldB) {
+  compileOptions_.vocab.affinities.push_back(
+      {std::move(fieldA), std::move(fieldB), /*together=*/false});
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::replication(std::string region,
+                                            double minFactor,
+                                            double maxFactor) {
+  compileOptions_.vocab.replications.push_back(
+      {std::move(region), minFactor, maxFactor});
+  return *this;
+}
+
+SessionBuilder& SessionBuilder::proof(std::string file) {
+  compileOptions_.proofFile = std::move(file);
+  return *this;
+}
+
 SessionBuilder& SessionBuilder::adaptive(runtime::RebalancePolicy policy) {
   policy.enabled = true;
   options_.adaptive = policy;
@@ -175,6 +222,9 @@ Plan SessionBuilder::compileInternal(region::World& world, Tracer* tracer) {
   DPART_CHECK(pieces_ > 0, "SessionBuilder::pieces() must be set (> 0)");
   auto payload = std::make_shared<Plan::Payload>();
   payload->pieces = pieces_;
+  // The vocabulary propagators and proof certificates reason about concrete
+  // piece counts; the builder's piece count is authoritative.
+  compileOptions_.pieces = pieces_;
   parallelize::AutoParallelizer parallelizer(world, compileOptions_);
   parallelizer.setTracer(tracer);
   for (const constraint::System& sys : externalConstraints_) {

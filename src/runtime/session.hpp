@@ -126,6 +126,24 @@ class SessionBuilder {
   SessionBuilder& external(std::string name, region::Partition partition);
   /// Registers user-provided invariants on external partitions.
   SessionBuilder& externalConstraint(constraint::System system);
+
+  // ---- External-constraint vocabulary (docs/constraint-language.md) ----
+  /// No piece of any partition of `region` may hold more than `maxPerPiece`
+  /// elements.
+  SessionBuilder& capacity(std::string region, std::size_t maxPerPiece);
+  /// The access partitions of two "region.field" fields must be piecewise
+  /// identical (same piece -> same node).
+  SessionBuilder& colocate(std::string fieldA, std::string fieldB);
+  /// The access partitions of two "region.field" fields must be piecewise
+  /// disjoint (no node owns both fields' copy of the same index).
+  SessionBuilder& antiAffinity(std::string fieldA, std::string fieldB);
+  /// Total materialized elements of any partition of `region` must stay in
+  /// [minFactor, maxFactor] x |region| (maxFactor <= 0: unbounded above).
+  SessionBuilder& replication(std::string region, double minFactor,
+                              double maxFactor = 0.0);
+  /// Writes a machine-checkable proof certificate of the solve (DPRF
+  /// format, docs/solver.md) to `file`; tools/proof_check replays it.
+  SessionBuilder& proof(std::string file);
   /// Enables skew-aware adaptive repartitioning (runtime/rebalance): the
   /// executor watches per-piece task times and swaps skewed loops'
   /// `equal` bases for weighted partitions under `policy`'s trigger /

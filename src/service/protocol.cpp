@@ -85,6 +85,7 @@ void throwServiceError(ErrorCode code, const std::string& what) {
   switch (code) {
     case ErrorCode::BadRequest: throw BadRequest(what);
     case ErrorCode::Overloaded: throw Overloaded(what);
+    case ErrorCode::Infeasible: throw constraint::InfeasibleError(what);
     default: throwErrorCode(code, what);
   }
 }
@@ -185,6 +186,23 @@ std::vector<std::uint8_t> encodeRequest(const PlanRequest& m) {
     w.u64(loop.body.size());
     for (const ir::Stmt& s : loop.body) writeStmt(w, s, 0);
   }
+  w.u64(m.vocab.capacities.size());
+  for (const constraint::CapacityBound& cb : m.vocab.capacities) {
+    w.str(cb.region);
+    w.u64(cb.maxPerPiece);
+  }
+  w.u64(m.vocab.affinities.size());
+  for (const constraint::FieldAffinity& fa : m.vocab.affinities) {
+    w.str(fa.fieldA);
+    w.str(fa.fieldB);
+    w.u8(fa.together ? 1 : 0);
+  }
+  w.u64(m.vocab.replications.size());
+  for (const constraint::ReplicationBound& rb : m.vocab.replications) {
+    w.str(rb.region);
+    w.f64(rb.minFactor);
+    w.f64(rb.maxFactor);
+  }
   return w.take();
 }
 
@@ -247,6 +265,32 @@ PlanRequest decodeRequest(BinaryReader& r) {
     }
     m.program.loops.push_back(std::move(loop));
   }
+  const std::uint64_t nCaps = r.u64();
+  m.vocab.capacities.reserve(static_cast<std::size_t>(nCaps));
+  for (std::uint64_t i = 0; i < nCaps; ++i) {
+    constraint::CapacityBound cb;
+    cb.region = r.str();
+    cb.maxPerPiece = static_cast<std::size_t>(r.u64());
+    m.vocab.capacities.push_back(std::move(cb));
+  }
+  const std::uint64_t nAff = r.u64();
+  m.vocab.affinities.reserve(static_cast<std::size_t>(nAff));
+  for (std::uint64_t i = 0; i < nAff; ++i) {
+    constraint::FieldAffinity fa;
+    fa.fieldA = r.str();
+    fa.fieldB = r.str();
+    fa.together = r.u8() != 0;
+    m.vocab.affinities.push_back(std::move(fa));
+  }
+  const std::uint64_t nRep = r.u64();
+  m.vocab.replications.reserve(static_cast<std::size_t>(nRep));
+  for (std::uint64_t i = 0; i < nRep; ++i) {
+    constraint::ReplicationBound rb;
+    rb.region = r.str();
+    rb.minFactor = r.f64();
+    rb.maxFactor = r.f64();
+    m.vocab.replications.push_back(std::move(rb));
+  }
   r.expectEnd();
   return m;
 }
@@ -271,6 +315,11 @@ std::vector<std::uint8_t> encodeResponse(const PlanResponse& m) {
   }
   w.u64(m.externalSymbols.size());
   for (const std::string& s : m.externalSymbols) w.str(s);
+  w.u64(m.propagations);
+  w.u64(m.prunes);
+  w.u64(m.branches);
+  w.u64(m.backtracks);
+  w.u64(m.restarts);
   return w.take();
 }
 
@@ -300,6 +349,11 @@ PlanResponse decodeResponse(BinaryReader& r) {
   for (std::uint64_t i = 0; i < nExternal; ++i) {
     m.externalSymbols.push_back(r.str());
   }
+  m.propagations = r.u64();
+  m.prunes = r.u64();
+  m.branches = r.u64();
+  m.backtracks = r.u64();
+  m.restarts = r.u64();
   r.expectEnd();
   return m;
 }

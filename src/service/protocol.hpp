@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "constraint/vocab.hpp"
 #include "ir/ir.hpp"
 #include "region/world.hpp"
 #include "support/check.hpp"
@@ -119,6 +120,12 @@ struct PlanRequest {
   bool enableUnification = true;
   WorldShape world;
   ir::Program program;  ///< Compute closures are dropped in transit
+  /// External-constraint vocabulary (capacity / co-location / anti-affinity
+  /// / replication), enforced by the propagation solver. A provably
+  /// unsatisfiable set fails with ErrorCode::Infeasible — the request was
+  /// well-formed (not BadRequest); the partitioning problem it poses has no
+  /// solution.
+  constraint::Vocabulary vocab;
 };
 
 /// Per-loop slice of the response.
@@ -142,6 +149,13 @@ struct PlanResponse {
   std::string dpl;      ///< synthesized DPL partitioning program
   std::vector<LoopPlanInfo> loops;
   std::vector<std::string> externalSymbols;
+  /// Propagation-engine counters (compile.propagate.* gauges; all zero on a
+  /// cache hit or for unconstrained compiles solved without search).
+  std::uint64_t propagations = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t restarts = 0;
 };
 
 /// Error payload: the taxonomy crossing the wire.

@@ -423,12 +423,44 @@ void PlanServer::handleRequest(int fd,
     }
 
     region::World world = req.world.materialize(options_.maxRegionElements);
+
+    // Vocabulary *shape* errors are the client's fault (BadRequest);
+    // *infeasibility* is only ever decided by the solver and travels as its
+    // own stable code (ErrorCode::Infeasible).
+    for (const constraint::CapacityBound& cb : req.vocab.capacities) {
+      if (!world.hasRegion(cb.region)) {
+        throw BadRequest("capacity bound names unknown region '" +
+                         cb.region + "'");
+      }
+      if (cb.maxPerPiece == 0) {
+        throw BadRequest("capacity bound on '" + cb.region +
+                         "' must be positive");
+      }
+    }
+    for (const constraint::ReplicationBound& rb : req.vocab.replications) {
+      if (!world.hasRegion(rb.region)) {
+        throw BadRequest("replication bound names unknown region '" +
+                         rb.region + "'");
+      }
+    }
+    for (const constraint::FieldAffinity& fa : req.vocab.affinities) {
+      for (const std::string& f : {fa.fieldA, fa.fieldB}) {
+        const auto dot = f.find('.');
+        if (dot == std::string::npos || dot == 0 || dot + 1 >= f.size() ||
+            !world.hasRegion(f.substr(0, dot))) {
+          throw BadRequest("affinity field '" + f +
+                           "' must name an existing 'region.field'");
+        }
+      }
+    }
+
     parallelize::Options copts;
     copts.enableRelaxation = req.enableRelaxation;
     copts.enableDisjointReduction = req.enableDisjointReduction;
     copts.enablePrivateSubPartitions = req.enablePrivateSubPartitions;
     copts.enableUnification = req.enableUnification;
     copts.solveCache = &cache_;
+    copts.vocab = req.vocab;
 
     Plan plan;
     {
@@ -449,6 +481,11 @@ void PlanServer::handleRequest(int fd,
     resp.solveMs = st.solveMs;
     resp.rewriteMs = st.rewriteMs;
     resp.parallelLoops = st.parallelLoops;
+    resp.propagations = st.solve.propagations;
+    resp.prunes = st.solve.prunes;
+    resp.branches = st.solve.branches;
+    resp.backtracks = st.solve.backtracks;
+    resp.restarts = st.solve.restarts;
     resp.dpl = plan.parallelPlan().dpl.toString();
     for (const parallelize::PlannedLoop& pl : plan.parallelPlan().loops) {
       resp.loops.push_back(

@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint16_t {
   NodeLoss = 7,              ///< node presumed dead (runtime::NodeLossError)
   BadRequest = 8,            ///< service: malformed / unsupported request
   Overloaded = 9,            ///< service: admission queue full, try later
+  Infeasible = 10,           ///< constraint set provably unsatisfiable
 };
 
 /// Human-readable name of a code (metrics labels, log lines, TaskErrorMsg
@@ -44,6 +45,7 @@ enum class ErrorCode : std::uint16_t {
     case ErrorCode::NodeLoss: return "NodeLossError";
     case ErrorCode::BadRequest: return "BadRequest";
     case ErrorCode::Overloaded: return "Overloaded";
+    case ErrorCode::Infeasible: return "Infeasible";
   }
   return "?";
 }

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "constraint/vocab.hpp"
 #include "runtime/executor.hpp"
 #include "support/check.hpp"
 
@@ -25,6 +26,7 @@ TEST(ErrorCodeTest, NumericValuesAreStable) {
   EXPECT_EQ(static_cast<int>(ErrorCode::NodeLoss), 7);
   EXPECT_EQ(static_cast<int>(ErrorCode::BadRequest), 8);
   EXPECT_EQ(static_cast<int>(ErrorCode::Overloaded), 9);
+  EXPECT_EQ(static_cast<int>(ErrorCode::Infeasible), 10);
 }
 
 TEST(ErrorCodeTest, EveryTaxonomyClassReportsItsCode) {
@@ -37,6 +39,8 @@ TEST(ErrorCodeTest, EveryTaxonomyClassReportsItsCode) {
             ErrorCode::CheckpointCorruption);
   EXPECT_EQ(TransportError(3, "x").errorCode(), ErrorCode::Transport);
   EXPECT_EQ(runtime::NodeLossError(3, "x").errorCode(), ErrorCode::NodeLoss);
+  EXPECT_EQ(constraint::InfeasibleError("x").errorCode(),
+            ErrorCode::Infeasible);
 }
 
 TEST(ErrorCodeTest, CodeSurvivesCatchAsBase) {
@@ -58,6 +62,7 @@ TEST(ErrorCodeTest, ToStringNamesEveryCode) {
   EXPECT_STREQ(toString(ErrorCode::NodeLoss), "NodeLossError");
   EXPECT_STREQ(toString(ErrorCode::BadRequest), "BadRequest");
   EXPECT_STREQ(toString(ErrorCode::Overloaded), "Overloaded");
+  EXPECT_STREQ(toString(ErrorCode::Infeasible), "Infeasible");
   EXPECT_STREQ(toString(static_cast<ErrorCode>(60000)), "?");
 }
 

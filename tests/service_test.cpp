@@ -147,6 +147,52 @@ TEST(ServiceProtocol, MaterializedShapeCompilesLikeTheOriginal) {
             remote.parallelPlan().dpl.toString());
 }
 
+TEST(ServiceProtocol, VocabularySurvivesTheWire) {
+  region::World world;
+  buildWorld(world);
+  PlanRequest req = makeRequest("acme", world, makeProgram());
+  req.vocab.capacities.push_back({"Cells", 12});
+  req.vocab.affinities.push_back({"Cells.vel", "Particles.pos", true});
+  req.vocab.affinities.push_back({"Cells.vel", "Cells.vel", false});
+  req.vocab.replications.push_back({"Cells", 0.5, 3.0});
+
+  const std::vector<std::uint8_t> bytes = encodeRequest(req);
+  BinaryReader r(bytes);
+  const PlanRequest got = decodeRequest(r);
+
+  ASSERT_EQ(got.vocab.capacities.size(), 1u);
+  EXPECT_EQ(got.vocab.capacities[0].region, "Cells");
+  EXPECT_EQ(got.vocab.capacities[0].maxPerPiece, 12u);
+  ASSERT_EQ(got.vocab.affinities.size(), 2u);
+  EXPECT_EQ(got.vocab.affinities[0].fieldA, "Cells.vel");
+  EXPECT_EQ(got.vocab.affinities[0].fieldB, "Particles.pos");
+  EXPECT_TRUE(got.vocab.affinities[0].together);
+  EXPECT_FALSE(got.vocab.affinities[1].together);
+  ASSERT_EQ(got.vocab.replications.size(), 1u);
+  EXPECT_EQ(got.vocab.replications[0].region, "Cells");
+  EXPECT_DOUBLE_EQ(got.vocab.replications[0].minFactor, 0.5);
+  EXPECT_DOUBLE_EQ(got.vocab.replications[0].maxFactor, 3.0);
+  EXPECT_EQ(got.vocab.rendered(), req.vocab.rendered());
+}
+
+TEST(ServiceProtocol, SolveCountersSurviveTheWire) {
+  PlanResponse resp;
+  resp.cacheKey = 7;
+  resp.propagations = 54;
+  resp.prunes = 4;
+  resp.branches = 11;
+  resp.backtracks = 2;
+  resp.restarts = 1;
+  const std::vector<std::uint8_t> bytes = encodeResponse(resp);
+  BinaryReader r(bytes);
+  const PlanResponse got = decodeResponse(r);
+  EXPECT_EQ(got.propagations, 54u);
+  EXPECT_EQ(got.prunes, 4u);
+  EXPECT_EQ(got.branches, 11u);
+  EXPECT_EQ(got.backtracks, 2u);
+  EXPECT_EQ(got.restarts, 1u);
+}
+
 TEST(ServiceProtocol, ErrorReplyRoundTripsAndRethrows) {
   const ErrorReplyMsg msg{ErrorCode::PartitionViolation, "piece 3 overlaps"};
   const std::vector<std::uint8_t> bytes = encodeError(msg);
@@ -157,6 +203,8 @@ TEST(ServiceProtocol, ErrorReplyRoundTripsAndRethrows) {
   EXPECT_THROW(throwServiceError(got.code, got.what), PartitionViolation);
   EXPECT_THROW(throwServiceError(ErrorCode::BadRequest, "x"), BadRequest);
   EXPECT_THROW(throwServiceError(ErrorCode::Overloaded, "x"), Overloaded);
+  EXPECT_THROW(throwServiceError(ErrorCode::Infeasible, "no solution"),
+               constraint::InfeasibleError);
 }
 
 TEST(ServiceProtocol, HostileShapesAreRejected) {
@@ -415,6 +463,58 @@ TEST(ServiceServer, ManyConcurrentClientsAllGetTheSamePlan) {
   EXPECT_EQ(hits + misses, static_cast<std::uint64_t>(kClients));
   EXPECT_GE(hits, static_cast<std::uint64_t>(kClients - 4))
       << "at most #workers concurrent cold solves may race per key";
+}
+
+TEST(ServiceServer, InfeasibleVocabularyTravelsAsItsOwnCode) {
+  ServerFixture fx;
+  region::World world;
+  buildWorld(world);
+  PlanClient client = PlanClient::connectTcp(fx.server.port());
+
+  // 400 particles over 4 pieces force a 100-element piece: a 10-element
+  // capacity is a pigeonhole contradiction. The request is well-formed, so
+  // the failure must travel as Infeasible — not BadRequest — and carry the
+  // first conflict's provenance.
+  PlanRequest req = makeRequest("acme", world, makeProgram());
+  req.vocab.capacities.push_back({"Particles", 10});
+  try {
+    (void)client.parallelize(req);
+    FAIL() << "expected InfeasibleError";
+  } catch (const constraint::InfeasibleError& e) {
+    EXPECT_EQ(e.errorCode(), ErrorCode::Infeasible);
+    EXPECT_NE(std::string(e.what()).find("capacity-comp"),
+              std::string::npos);
+  }
+
+  // A malformed vocabulary on the same connection is BadRequest instead.
+  PlanRequest bad = makeRequest("acme", world, makeProgram());
+  bad.vocab.affinities.push_back({"NoSuchRegion.f", "Cells.vel", true});
+  EXPECT_THROW((void)client.parallelize(bad), BadRequest);
+
+  // The connection survives both failures.
+  const PlanResponse ok =
+      client.parallelize(makeRequest("acme", world, makeProgram()));
+  EXPECT_NE(ok.cacheKey, 0u);
+}
+
+TEST(ServiceServer, FeasibleVocabularyCompilesAndReportsCounters) {
+  ServerFixture fx;
+  region::World world;
+  buildWorld(world);
+  PlanClient client = PlanClient::connectTcp(fx.server.port());
+
+  PlanRequest req = makeRequest("acme", world, makeProgram());
+  req.vocab.capacities.push_back({"Particles", 100});  // exactly 400/4
+  const PlanResponse resp = client.parallelize(req);
+  EXPECT_FALSE(resp.cacheHit);  // vocab compiles bypass the solve cache
+  EXPECT_NE(resp.dpl, "");
+  EXPECT_GT(resp.propagations, 0u);
+
+  // The same request without the vocabulary must not collide with the
+  // constrained compile in any cache layer.
+  const PlanResponse plain =
+      client.parallelize(makeRequest("acme", world, makeProgram()));
+  EXPECT_EQ(plain.propagations, 0u);
 }
 
 TEST(ServiceServer, ShutdownFrameStopsTheServer) {

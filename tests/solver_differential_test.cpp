@@ -1,0 +1,160 @@
+// Differential tests between the propagation engine and the syntax-directed
+// reference: with an empty vocabulary both must synthesize bit-for-bit
+// identical plans on every application program, and an infeasible vocabulary
+// must surface as InfeasibleError with first-conflict provenance.
+
+#include <gtest/gtest.h>
+
+#include "apps/circuit.hpp"
+#include "apps/miniaero.hpp"
+#include "apps/pennant.hpp"
+#include "apps/spmv.hpp"
+#include "apps/stencil.hpp"
+#include "parallelize/parallelize.hpp"
+
+namespace dpart::parallelize {
+namespace {
+
+/// Plans `program` twice — propagation vs syntax-directed — and requires the
+/// full rendered plans (DPL program, loop plans, reduce handling) to match
+/// bit for bit.
+void expectEnginesAgree(const region::World& world,
+                        const ir::Program& program, const char* what) {
+  Options prop;
+  prop.engine = constraint::SolverEngine::Propagation;
+  ParallelPlan a = AutoParallelizer(world, prop).plan(program);
+
+  Options ref;
+  ref.engine = constraint::SolverEngine::SyntaxDirected;
+  ParallelPlan b = AutoParallelizer(world, ref).plan(program);
+
+  EXPECT_EQ(a.dpl.toString(), b.dpl.toString()) << what;
+  EXPECT_EQ(a.toString(), b.toString()) << what;
+  // The reference engine never runs propagators; the propagation engine must
+  // not have needed any prunes to agree with it.
+  EXPECT_EQ(a.stats.solve.prunes, 0u) << what;
+  EXPECT_EQ(b.stats.solve.propagations, 0u) << what;
+}
+
+TEST(SolverDifferential, Spmv) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 32;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  expectEnginesAgree(app.world(), app.program(), "spmv");
+}
+
+TEST(SolverDifferential, Stencil) {
+  apps::StencilApp::Params p;
+  p.rowsPerPiece = 8;
+  p.cols = 16;
+  p.pieces = 4;
+  apps::StencilApp app(p);
+  expectEnginesAgree(app.world(), app.program(), "stencil");
+}
+
+TEST(SolverDifferential, MiniAero) {
+  apps::MiniAeroApp::Params p;
+  p.nx = 4;
+  p.ny = 4;
+  p.nzPerPiece = 4;
+  p.pieces = 2;
+  apps::MiniAeroApp app(p);
+  expectEnginesAgree(app.world(), app.program(), "miniaero");
+}
+
+TEST(SolverDifferential, Circuit) {
+  apps::CircuitApp::Params p;
+  p.pieces = 4;
+  p.nodesPerCluster = 32;
+  p.wiresPerCluster = 128;
+  apps::CircuitApp app(p);
+  expectEnginesAgree(app.world(), app.program(), "circuit");
+}
+
+TEST(SolverDifferential, Pennant) {
+  apps::PennantApp::Params p;
+  p.zx = 4;
+  p.zyPerPiece = 4;
+  p.pieces = 2;
+  apps::PennantApp app(p);
+  expectEnginesAgree(app.world(), app.program(), "pennant");
+}
+
+// ---- Infeasible vocabularies --------------------------------------------
+
+TEST(SolverDifferential, CapacityPigeonholeThrowsInfeasible) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 32;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  Options opts;
+  opts.pieces = p.pieces;
+  // 128 rows over 4 pieces force a 32-row piece; a 1-row budget is a
+  // pigeonhole contradiction the propagators refute at the root.
+  opts.vocab.capacities.push_back({"Y", 1});
+  try {
+    (void)AutoParallelizer(app.world(), opts).plan(app.program());
+    FAIL() << "expected InfeasibleError";
+  } catch (const constraint::InfeasibleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("capacity-comp"), std::string::npos) << what;
+    EXPECT_NE(what.find("cap=1"), std::string::npos) << what;
+    EXPECT_EQ(e.errorCode(), ErrorCode::Infeasible);
+  }
+}
+
+TEST(SolverDifferential, SelfAntiAffinityThrowsInfeasible) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 32;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+  Options opts;
+  // Y.val's access partition must cover all rows; demanding it be disjoint
+  // from itself is unsatisfiable, with the originating field in the trace.
+  opts.vocab.affinities.push_back({"Y.val", "Y.val", /*together=*/false});
+  try {
+    (void)AutoParallelizer(app.world(), opts).plan(app.program());
+    FAIL() << "expected InfeasibleError";
+  } catch (const constraint::InfeasibleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("anti-self"), std::string::npos) << what;
+    EXPECT_NE(what.find("Y.val"), std::string::npos) << what;
+  }
+}
+
+TEST(SolverDifferential, FeasibleVocabularyStillMatchesReferencePlan) {
+  // A satisfiable vocabulary that never prunes the chosen candidates must
+  // leave the synthesized plan identical to the unconstrained reference.
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 32;
+  p.pieces = 4;
+  apps::SpmvApp app(p);
+
+  Options ref;
+  ref.engine = constraint::SolverEngine::SyntaxDirected;
+  ParallelPlan b = AutoParallelizer(app.world(), ref).plan(app.program());
+
+  Options opts;
+  opts.pieces = p.pieces;
+  opts.vocab.capacities.push_back({"Y", 32});  // exactly ceil(128/4)
+  ParallelPlan a = AutoParallelizer(app.world(), opts).plan(app.program());
+  EXPECT_EQ(a.dpl.toString(), b.dpl.toString());
+}
+
+TEST(SolverDifferential, SyntaxDirectedRejectsVocabularies) {
+  apps::SpmvApp::Params p;
+  p.rowsPerPiece = 8;
+  p.pieces = 2;
+  apps::SpmvApp app(p);
+  Options opts;
+  opts.engine = constraint::SolverEngine::SyntaxDirected;
+  opts.pieces = p.pieces;
+  opts.vocab.capacities.push_back({"Y", 8});
+  EXPECT_THROW(
+      { (void)AutoParallelizer(app.world(), opts).plan(app.program()); },
+      Error);
+}
+
+}  // namespace
+}  // namespace dpart::parallelize

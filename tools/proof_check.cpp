@@ -1,0 +1,1604 @@
+// proof_check: independent verifier for DPRF 1 proof certificates
+// (docs/solver.md).
+//
+// The checker shares no code with the solver. It re-parses the certificate's
+// ground model (region sizes, full fn tables), re-implements the DPL
+// operators as naive set semantics (the Fig. 5 reference definitions), and
+// re-derives every arithmetic justification with its own interval bounds:
+//
+//  - solution certificates: every open symbol is assigned exactly once, in
+//    dependency order; every required conjunct whose value is ground is
+//    checked semantically (PART / DISJ / COMP / subset); every vocabulary
+//    constraint (capacity / replication / co-location / anti-affinity) is
+//    checked against the evaluated partitions; the plan section's DPL
+//    program re-evaluates to the same partitions as the raw assignments,
+//    and the embedded runtime expectations hold on them.
+//  - infeasibility certificates: the final attempt's search tree is
+//    replayed — every candidate at every node must be pruned (justification
+//    re-derived), deduplicated (an identical equality was branched at the
+//    node) or branched into a failing subtree; refutations (capacity
+//    pigeonhole, replication windows, anti-affinity self-conflicts) are
+//    re-derived from the model; no budget event may truncate the trail.
+//
+// Conjuncts or expectations whose value depends on a fixed external symbol
+// are conditional on the caller's hypotheses; they are reported as skipped
+// (fatal under --strict). Usage:
+//
+//   proof_check [--strict] cert.dprf...
+//
+// Prints one "OK: ..." line per valid certificate; prints the violations and
+// exits non-zero otherwise.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr std::size_t kMax = static_cast<std::size_t>(-1);
+
+std::size_t satAdd(std::size_t a, std::size_t b) {
+  return a > kMax - b ? kMax : a + b;
+}
+std::size_t satMul(std::size_t a, std::size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == kMax || b == kMax) return kMax;
+  return a > kMax / b ? kMax : a * b;
+}
+std::size_t satSub(std::size_t a, std::size_t b) { return a > b ? a - b : 0; }
+std::size_t ceilDiv(std::size_t s, std::size_t n) {
+  if (n == 0) return s == 0 ? 0 : kMax;
+  if (s == kMax) return kMax;
+  return (s + n - 1) / n;
+}
+
+// ---- expression AST + parser (the Expr::toString grammar) -----------------
+
+struct PExpr;
+using PExprPtr = std::shared_ptr<PExpr>;
+
+struct PExpr {
+  enum class Kind { Symbol, Union, Intersect, Subtract, Image, Preimage,
+                    Equal };
+  Kind kind = Kind::Symbol;
+  std::string name;    // Symbol
+  std::string fn;      // Image / Preimage
+  std::string region;  // Image / Preimage / Equal
+  PExprPtr lhs, rhs;   // binary ops
+  PExprPtr arg;        // Image / Preimage
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : s_(text) {}
+
+  // Returns nullptr (with an error message) on malformed input.
+  PExprPtr parseAll(std::string& error) {
+    PExprPtr e = parse();
+    if (e != nullptr && pos_ != s_.size()) {
+      fail("trailing characters at offset " + std::to_string(pos_));
+      e = nullptr;
+    }
+    error = error_;
+    return e;
+  }
+
+ private:
+  PExprPtr parse() {
+    if (pos_ >= s_.size()) return fail("unexpected end of expression");
+    if (s_[pos_] == '(') {
+      ++pos_;
+      PExprPtr lhs = parse();
+      if (lhs == nullptr) return nullptr;
+      if (!expect(" ")) return nullptr;
+      if (pos_ >= s_.size()) return fail("missing operator");
+      const char op = s_[pos_++];
+      if (op != 'u' && op != 'n' && op != '-') {
+        return fail(std::string("unknown operator '") + op + "'");
+      }
+      if (!expect(" ")) return nullptr;
+      PExprPtr rhs = parse();
+      if (rhs == nullptr) return nullptr;
+      if (!expect(")")) return nullptr;
+      auto e = std::make_shared<PExpr>();
+      e->kind = op == 'u'   ? PExpr::Kind::Union
+                : op == 'n' ? PExpr::Kind::Intersect
+                            : PExpr::Kind::Subtract;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      return e;
+    }
+    const std::string word = peekWord();
+    if (word == "image" && lookahead(word.size()) == '(') {
+      pos_ += word.size() + 1;
+      auto e = std::make_shared<PExpr>();
+      e->kind = PExpr::Kind::Image;
+      e->arg = parse();
+      if (e->arg == nullptr) return nullptr;
+      if (!expect(", ")) return nullptr;
+      e->fn = takeUntil(',');
+      if (!expect(", ")) return nullptr;
+      e->region = takeUntil(')');
+      if (!expect(")")) return nullptr;
+      return e;
+    }
+    if (word == "preimage" && lookahead(word.size()) == '(') {
+      pos_ += word.size() + 1;
+      auto e = std::make_shared<PExpr>();
+      e->kind = PExpr::Kind::Preimage;
+      e->region = takeUntil(',');
+      if (!expect(", ")) return nullptr;
+      e->fn = takeUntil(',');
+      if (!expect(", ")) return nullptr;
+      e->arg = parse();
+      if (e->arg == nullptr) return nullptr;
+      if (!expect(")")) return nullptr;
+      return e;
+    }
+    if (word == "equal" && lookahead(word.size()) == '(') {
+      pos_ += word.size() + 1;
+      auto e = std::make_shared<PExpr>();
+      e->kind = PExpr::Kind::Equal;
+      e->region = takeUntil(')');
+      if (!expect(")")) return nullptr;
+      return e;
+    }
+    if (word.empty()) return fail("expected a symbol");
+    pos_ += word.size();
+    auto e = std::make_shared<PExpr>();
+    e->kind = PExpr::Kind::Symbol;
+    e->name = word;
+    return e;
+  }
+
+  // A symbol / keyword: everything up to a structural delimiter. Fn ids can
+  // contain brackets and dots ("R[.].field"), so only the grammar's own
+  // delimiters stop the scan.
+  std::string peekWord() const {
+    std::size_t end = pos_;
+    while (end < s_.size() && s_[end] != '(' && s_[end] != ')' &&
+           s_[end] != ',' && s_[end] != ' ') {
+      ++end;
+    }
+    return s_.substr(pos_, end - pos_);
+  }
+
+  char lookahead(std::size_t ahead) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+
+  std::string takeUntil(char stop) {
+    std::size_t end = pos_;
+    while (end < s_.size() && s_[end] != stop) ++end;
+    std::string out = s_.substr(pos_, end - pos_);
+    pos_ = end;
+    return out;
+  }
+
+  bool expect(const std::string& lit) {
+    if (s_.compare(pos_, lit.size(), lit) != 0) {
+      fail("expected '" + lit + "' at offset " + std::to_string(pos_));
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  PExprPtr fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg + " in '" + s_ + "'";
+    return nullptr;
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::string exprToString(const PExpr& e) {
+  switch (e.kind) {
+    case PExpr::Kind::Symbol: return e.name;
+    case PExpr::Kind::Union:
+      return "(" + exprToString(*e.lhs) + " u " + exprToString(*e.rhs) + ")";
+    case PExpr::Kind::Intersect:
+      return "(" + exprToString(*e.lhs) + " n " + exprToString(*e.rhs) + ")";
+    case PExpr::Kind::Subtract:
+      return "(" + exprToString(*e.lhs) + " - " + exprToString(*e.rhs) + ")";
+    case PExpr::Kind::Image:
+      return "image(" + exprToString(*e.arg) + ", " + e.fn + ", " + e.region +
+             ")";
+    case PExpr::Kind::Preimage:
+      return "preimage(" + e.region + ", " + e.fn + ", " +
+             exprToString(*e.arg) + ")";
+    case PExpr::Kind::Equal: return "equal(" + e.region + ")";
+  }
+  return "?";
+}
+
+// ---- certificate model ----------------------------------------------------
+
+struct FnTable {
+  bool rangeValued = false;
+  std::string domain, range;
+  std::vector<long long> points;                      // point-valued
+  std::vector<std::pair<long long, long long>> runs;  // range-valued
+};
+
+struct SymbolDecl {
+  bool fixed = false;
+  std::string region;
+};
+
+struct Conjunct {
+  enum class Kind { Part, Disj, Comp, Subset };
+  Kind kind = Kind::Part;
+  bool assumed = false;
+  std::string region;
+  std::string exprText, lhsText, rhsText;
+  PExprPtr expr, lhs, rhs;
+};
+
+struct SymbolPair {
+  std::string symA, symB, fieldA, fieldB;
+};
+
+struct Event {
+  enum class Type { Restart, Node, Cand, Dedup, Prune, Refute, Branch,
+                    LeafOk, LeafBad, Backtrack, Exhausted, Budget };
+  Type type{};
+  std::size_t node = 0;
+  std::size_t parent = 0;     // Node
+  std::size_t idx = 0;        // Cand / Dedup / Prune / Branch
+  std::string symbol;         // Node (branched) / Cand / Refute
+  std::string exprText;       // Cand
+  PExprPtr expr;              // Cand
+  std::string rule, detail;   // Prune / Refute
+  std::size_t line = 0;       // 1-based source line for messages
+};
+
+struct Cert {
+  std::size_t pieces = 0;
+  std::map<std::string, std::size_t> regions;
+  std::map<std::string, FnTable> fns;
+  std::map<std::string, SymbolDecl> symbols;
+  std::vector<Conjunct> conjuncts;
+  std::map<std::string, std::size_t> capacity;
+  std::map<std::string, std::pair<double, double>> replication;
+  std::vector<SymbolPair> colocated, antiAffine;
+  std::vector<Event> trail;
+  bool sawBeginSearch = false;
+  bool hasSolution = false;
+  std::vector<std::pair<std::string, PExprPtr>> assigns;
+  bool hasInfeasible = false;
+  std::string infeasibleDetail;
+  std::vector<std::pair<std::string, PExprPtr>> dplStmts;
+  std::vector<std::map<std::string, std::string>> expectations;
+  std::size_t declaredEnd = 0;
+  std::size_t lineCount = 0;
+};
+
+// ---- reporting ------------------------------------------------------------
+
+struct Report {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;  // fatal under --strict
+  std::size_t checkedConjuncts = 0;
+  std::size_t skippedConjuncts = 0;
+  std::size_t rederivedJustifications = 0;
+
+  void error(const std::string& m) { errors.push_back(m); }
+  void warn(const std::string& m) { warnings.push_back(m); }
+};
+
+// ---- parser ---------------------------------------------------------------
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) out.push_back(t);
+  return out;
+}
+
+PExprPtr parseExprOrError(const std::string& text, std::size_t line,
+                          Report& rep) {
+  std::string error;
+  PExprPtr e = ExprParser(text).parseAll(error);
+  if (e == nullptr) {
+    rep.error("line " + std::to_string(line) + ": bad expression: " + error);
+  }
+  return e;
+}
+
+bool parseCert(std::istream& in, Cert& cert, Report& rep) {
+  std::string line;
+  std::size_t lineNo = 0;
+  bool sawHeader = false;
+  bool sawEnd = false;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    ++cert.lineCount;
+    if (sawEnd) {
+      rep.error("line " + std::to_string(lineNo) + ": content after 'end'");
+      return false;
+    }
+    std::vector<std::string> tok = splitTokens(line);
+    if (tok.empty()) {
+      rep.error("line " + std::to_string(lineNo) + ": empty line");
+      return false;
+    }
+    const std::string& kw = tok[0];
+    auto rest = [&](std::size_t nTokens) {
+      // Raw remainder of the line after the first nTokens tokens (expression
+      // payloads contain spaces).
+      std::size_t pos = 0;
+      for (std::size_t i = 0; i < nTokens; ++i) {
+        pos = line.find(' ', pos);
+        if (pos == std::string::npos) return std::string();
+        ++pos;
+      }
+      return line.substr(pos);
+    };
+    if (kw == "cert") {
+      if (tok.size() != 3 || tok[1] != "DPRF" || tok[2] != "1") {
+        rep.error("line 1: not a DPRF 1 certificate");
+        return false;
+      }
+      sawHeader = true;
+    } else if (!sawHeader) {
+      rep.error("line 1: certificate must start with 'cert DPRF 1'");
+      return false;
+    } else if (kw == "pieces" && tok.size() == 2) {
+      cert.pieces = std::stoull(tok[1]);
+    } else if (kw == "region" && tok.size() == 3) {
+      cert.regions[tok[1]] = std::stoull(tok[2]);
+    } else if (kw == "fn" && tok.size() >= 5) {
+      FnTable ft;
+      ft.rangeValued = tok[2] == "range";
+      ft.domain = tok[3];
+      ft.range = tok[4];
+      for (std::size_t i = 5; i < tok.size(); ++i) {
+        if (ft.rangeValued) {
+          const auto colon = tok[i].find(':');
+          if (colon == std::string::npos) {
+            rep.error("line " + std::to_string(lineNo) +
+                      ": range fn entry without ':'");
+            return false;
+          }
+          ft.runs.emplace_back(std::stoll(tok[i].substr(0, colon)),
+                               std::stoll(tok[i].substr(colon + 1)));
+        } else {
+          ft.points.push_back(std::stoll(tok[i]));
+        }
+      }
+      cert.fns[tok[1]] = std::move(ft);
+    } else if (kw == "symbol" && tok.size() == 4) {
+      cert.symbols[tok[1]] = SymbolDecl{tok[2] == "fixed", tok[3]};
+    } else if (kw == "conjunct" && tok.size() >= 3) {
+      Conjunct c;
+      c.assumed = tok[1] == "assumed";
+      if (tok[2] == "part" || tok[2] == "comp") {
+        c.kind = tok[2] == "part" ? Conjunct::Kind::Part
+                                  : Conjunct::Kind::Comp;
+        c.region = tok[3];
+        c.exprText = rest(4);
+      } else if (tok[2] == "disj") {
+        c.kind = Conjunct::Kind::Disj;
+        c.exprText = rest(3);
+      } else if (tok[2] == "subset") {
+        c.kind = Conjunct::Kind::Subset;
+        const std::string both = rest(3);
+        const auto sep = both.find(" <= ");
+        if (sep == std::string::npos) {
+          rep.error("line " + std::to_string(lineNo) +
+                    ": subset conjunct without ' <= '");
+          return false;
+        }
+        c.lhsText = both.substr(0, sep);
+        c.rhsText = both.substr(sep + 4);
+      } else {
+        rep.error("line " + std::to_string(lineNo) +
+                  ": unknown conjunct kind '" + tok[2] + "'");
+        return false;
+      }
+      if (c.kind == Conjunct::Kind::Subset) {
+        c.lhs = parseExprOrError(c.lhsText, lineNo, rep);
+        c.rhs = parseExprOrError(c.rhsText, lineNo, rep);
+        if (c.lhs == nullptr || c.rhs == nullptr) return false;
+      } else {
+        c.expr = parseExprOrError(c.exprText, lineNo, rep);
+        if (c.expr == nullptr) return false;
+      }
+      cert.conjuncts.push_back(std::move(c));
+    } else if (kw == "vocab" && tok.size() >= 3) {
+      if (tok[1] == "capacity" && tok.size() == 4) {
+        cert.capacity[tok[2]] = std::stoull(tok[3]);
+      } else if (tok[1] == "replicate" && tok.size() == 5) {
+        cert.replication[tok[2]] = {std::stod(tok[3]), std::stod(tok[4])};
+      } else if ((tok[1] == "colocate" || tok[1] == "anti") &&
+                 tok.size() == 6) {
+        SymbolPair p{tok[2], tok[3], tok[4], tok[5]};
+        (tok[1] == "colocate" ? cert.colocated : cert.antiAffine)
+            .push_back(std::move(p));
+      } else {
+        rep.error("line " + std::to_string(lineNo) + ": bad vocab line");
+        return false;
+      }
+    } else if (kw == "begin" && tok.size() == 2 && tok[1] == "search") {
+      cert.sawBeginSearch = true;
+    } else if (kw == "restart" && tok.size() == 4) {
+      Event e;
+      e.type = Event::Type::Restart;
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "node" && tok.size() == 4) {
+      Event e;
+      e.type = Event::Type::Node;
+      e.node = std::stoull(tok[1]);
+      e.parent = std::stoull(tok[2]);
+      e.symbol = tok[3] == "-" ? std::string() : tok[3];
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "cand" && tok.size() >= 5) {
+      Event e;
+      e.type = Event::Type::Cand;
+      e.node = std::stoull(tok[1]);
+      e.idx = std::stoull(tok[2]);
+      e.symbol = tok[3];
+      e.exprText = rest(4);
+      e.expr = parseExprOrError(e.exprText, lineNo, rep);
+      if (e.expr == nullptr) return false;
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "dedup" && tok.size() == 3) {
+      Event e;
+      e.type = Event::Type::Dedup;
+      e.node = std::stoull(tok[1]);
+      e.idx = std::stoull(tok[2]);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "prune" && tok.size() >= 4) {
+      Event e;
+      e.type = Event::Type::Prune;
+      e.node = std::stoull(tok[1]);
+      e.idx = std::stoull(tok[2]);
+      e.rule = tok[3];
+      e.detail = rest(4);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "refute" && tok.size() >= 4) {
+      Event e;
+      e.type = Event::Type::Refute;
+      e.node = std::stoull(tok[1]);
+      e.symbol = tok[2];
+      e.rule = tok[3];
+      e.detail = rest(4);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "branch" && tok.size() == 3) {
+      Event e;
+      e.type = Event::Type::Branch;
+      e.node = std::stoull(tok[1]);
+      e.idx = std::stoull(tok[2]);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "leaf" && tok.size() >= 3) {
+      Event e;
+      e.type = tok[2] == "ok" ? Event::Type::LeafOk : Event::Type::LeafBad;
+      e.node = std::stoull(tok[1]);
+      e.detail = tok[2] == "ok" ? std::string() : rest(3);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "backtrack" && tok.size() == 2) {
+      Event e;
+      e.type = Event::Type::Backtrack;
+      e.node = std::stoull(tok[1]);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "exhausted" && tok.size() == 2) {
+      Event e;
+      e.type = Event::Type::Exhausted;
+      e.node = std::stoull(tok[1]);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "budget" && tok.size() == 2) {
+      Event e;
+      e.type = Event::Type::Budget;
+      e.node = std::stoull(tok[1]);
+      e.line = lineNo;
+      cert.trail.push_back(std::move(e));
+    } else if (kw == "solution") {
+      cert.hasSolution = true;
+    } else if (kw == "assign" && tok.size() >= 3) {
+      PExprPtr e = parseExprOrError(rest(2), lineNo, rep);
+      if (e == nullptr) return false;
+      cert.assigns.emplace_back(tok[1], std::move(e));
+    } else if (kw == "infeasible") {
+      cert.hasInfeasible = true;
+      cert.infeasibleDetail = rest(1);
+    } else if (kw == "dplstmt" && tok.size() >= 3) {
+      PExprPtr e = parseExprOrError(rest(2), lineNo, rep);
+      if (e == nullptr) return false;
+      cert.dplStmts.emplace_back(tok[1], std::move(e));
+    } else if (kw == "expect" && tok.size() >= 2) {
+      std::map<std::string, std::string> kv;
+      for (std::size_t i = 1; i < tok.size(); ++i) {
+        const auto eq = tok[i].find('=');
+        if (eq == std::string::npos) {
+          rep.error("line " + std::to_string(lineNo) +
+                    ": expect token without '='");
+          return false;
+        }
+        kv[tok[i].substr(0, eq)] = tok[i].substr(eq + 1);
+      }
+      cert.expectations.push_back(std::move(kv));
+    } else if (kw == "end" && tok.size() == 2) {
+      cert.declaredEnd = std::stoull(tok[1]);
+      sawEnd = true;
+    } else {
+      rep.error("line " + std::to_string(lineNo) + ": unknown event '" + kw +
+                "'");
+      return false;
+    }
+  }
+  if (!sawEnd) {
+    rep.error("certificate is truncated: no 'end' line");
+    return false;
+  }
+  if (cert.declaredEnd != cert.lineCount) {
+    rep.error("end count " + std::to_string(cert.declaredEnd) +
+              " does not match " + std::to_string(cert.lineCount) +
+              " certificate lines");
+  }
+  return true;
+}
+
+// ---- interval bounds (independent re-implementation) ----------------------
+
+struct Bounds {
+  std::size_t maxPieceLo = 0, maxPieceHi = kMax;
+  std::size_t totalLo = 0, totalHi = kMax;
+};
+
+std::size_t certSize(const Cert& cert, const std::string& region) {
+  auto it = cert.regions.find(region);
+  return it == cert.regions.end() ? kMax : it->second;
+}
+
+std::string certRegionOf(const Cert& cert, const PExpr& e) {
+  switch (e.kind) {
+    case PExpr::Kind::Equal:
+    case PExpr::Kind::Image:
+    case PExpr::Kind::Preimage:
+      return e.region;
+    case PExpr::Kind::Symbol: {
+      auto it = cert.symbols.find(e.name);
+      return it == cert.symbols.end() ? std::string() : it->second.region;
+    }
+    case PExpr::Kind::Union:
+    case PExpr::Kind::Intersect:
+    case PExpr::Kind::Subtract: {
+      std::string t = certRegionOf(cert, *e.lhs);
+      return t.empty() ? certRegionOf(cert, *e.rhs) : t;
+    }
+  }
+  return {};
+}
+
+bool isRangeFn(const Cert& cert, const std::string& fn) {
+  auto it = cert.fns.find(fn);
+  return it != cert.fns.end() && it->second.rangeValued;
+}
+
+Bounds boundsOf(const Cert& cert, const PExpr& e) {
+  const std::size_t n = cert.pieces;
+  Bounds out;
+  switch (e.kind) {
+    case PExpr::Kind::Equal: {
+      const std::size_t s = certSize(cert, e.region);
+      if (s == kMax) break;
+      const std::size_t mp = ceilDiv(s, n);
+      return Bounds{mp, mp, s, s};
+    }
+    case PExpr::Kind::Symbol: {
+      const std::size_t s = certSize(cert, certRegionOf(cert, e));
+      out.maxPieceHi = s;
+      out.totalHi = satMul(n, s);
+      break;
+    }
+    case PExpr::Kind::Union: {
+      const Bounds a = boundsOf(cert, *e.lhs);
+      const Bounds b = boundsOf(cert, *e.rhs);
+      out.maxPieceLo = std::max(a.maxPieceLo, b.maxPieceLo);
+      out.maxPieceHi = satAdd(a.maxPieceHi, b.maxPieceHi);
+      out.totalLo = std::max(a.totalLo, b.totalLo);
+      out.totalHi = satAdd(a.totalHi, b.totalHi);
+      break;
+    }
+    case PExpr::Kind::Intersect: {
+      const Bounds a = boundsOf(cert, *e.lhs);
+      const Bounds b = boundsOf(cert, *e.rhs);
+      out.maxPieceHi = std::min(a.maxPieceHi, b.maxPieceHi);
+      out.totalHi = std::min(a.totalHi, b.totalHi);
+      break;
+    }
+    case PExpr::Kind::Subtract: {
+      const Bounds a = boundsOf(cert, *e.lhs);
+      const Bounds b = boundsOf(cert, *e.rhs);
+      out.maxPieceLo = satSub(a.maxPieceLo, b.maxPieceHi);
+      out.maxPieceHi = a.maxPieceHi;
+      out.totalLo = satSub(a.totalLo, b.totalHi);
+      out.totalHi = a.totalHi;
+      break;
+    }
+    case PExpr::Kind::Image: {
+      const Bounds a = boundsOf(cert, *e.arg);
+      const std::size_t sT = certSize(cert, e.region);
+      const bool ranged = isRangeFn(cert, e.fn);
+      out.maxPieceHi = ranged ? sT : std::min(a.maxPieceHi, sT);
+      out.totalHi = ranged ? satMul(n, sT) : std::min(a.totalHi,
+                                                      satMul(n, sT));
+      break;
+    }
+    case PExpr::Kind::Preimage: {
+      const std::size_t sS = certSize(cert, e.region);
+      out.maxPieceHi = sS;
+      out.totalHi = satMul(n, sS);
+      break;
+    }
+  }
+  const std::size_t sTarget = certSize(cert, certRegionOf(cert, e));
+  out.maxPieceHi = std::min(out.maxPieceHi, sTarget);
+  out.maxPieceLo = std::max(out.maxPieceLo, ceilDiv(out.totalLo, n));
+  out.maxPieceHi = std::min(out.maxPieceHi, out.totalHi);
+  return out;
+}
+
+// ---- naive set evaluation (the Fig. 5 reference semantics) ----------------
+
+struct Value {
+  std::vector<std::set<long long>> pieces;
+  /// False when any leaf was a fixed external symbol: the value is then a
+  /// synthesized witness, not ground truth, and semantic checks skip it.
+  bool ground = true;
+};
+
+using Env = std::map<std::string, Value>;
+
+Value equalValue(const Cert& cert, const std::string& region) {
+  Value v;
+  const std::size_t s = certSize(cert, region);
+  const std::size_t n = cert.pieces;
+  v.pieces.assign(n, {});
+  const std::size_t base = n == 0 ? 0 : s / n;
+  const std::size_t rem = n == 0 ? 0 : s % n;
+  long long lo = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t len = base + (j < rem ? 1 : 0);
+    for (std::size_t k = 0; k < len; ++k) v.pieces[j].insert(lo++);
+  }
+  return v;
+}
+
+std::optional<Value> evaluate(const Cert& cert, const PExpr& e, const Env& env,
+                              Report& rep) {
+  const std::size_t n = cert.pieces;
+  switch (e.kind) {
+    case PExpr::Kind::Symbol: {
+      auto it = env.find(e.name);
+      if (it != env.end()) return it->second;
+      auto sit = cert.symbols.find(e.name);
+      if (sit == cert.symbols.end()) {
+        rep.error("expression references undeclared symbol '" + e.name + "'");
+        return std::nullopt;
+      }
+      if (!sit->second.fixed) {
+        rep.error("expression references open symbol '" + e.name +
+                  "' with no value");
+        return std::nullopt;
+      }
+      // Witness for a fixed external: round-robin over the region. Any
+      // check that touches it is conditional on the caller's hypotheses.
+      Value v;
+      v.ground = false;
+      v.pieces.assign(n, {});
+      const std::size_t s = certSize(cert, sit->second.region);
+      for (std::size_t i = 0; s != kMax && i < s; ++i) {
+        v.pieces[n == 0 ? 0 : i % n].insert(static_cast<long long>(i));
+      }
+      return v;
+    }
+    case PExpr::Kind::Equal:
+      return equalValue(cert, e.region);
+    case PExpr::Kind::Union:
+    case PExpr::Kind::Intersect:
+    case PExpr::Kind::Subtract: {
+      auto a = evaluate(cert, *e.lhs, env, rep);
+      auto b = evaluate(cert, *e.rhs, env, rep);
+      if (!a || !b) return std::nullopt;
+      Value v;
+      v.ground = a->ground && b->ground;
+      v.pieces.assign(n, {});
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::set<long long>& x = a->pieces[j];
+        const std::set<long long>& y = b->pieces[j];
+        std::set<long long>& out = v.pieces[j];
+        if (e.kind == PExpr::Kind::Union) {
+          out = x;
+          out.insert(y.begin(), y.end());
+        } else if (e.kind == PExpr::Kind::Intersect) {
+          for (long long k : x) {
+            if (y.contains(k)) out.insert(k);
+          }
+        } else {
+          for (long long k : x) {
+            if (!y.contains(k)) out.insert(k);
+          }
+        }
+      }
+      return v;
+    }
+    case PExpr::Kind::Image: {
+      auto a = evaluate(cert, *e.arg, env, rep);
+      if (!a) return std::nullopt;
+      const std::size_t sT = certSize(cert, e.region);
+      Value v;
+      v.ground = a->ground;
+      v.pieces.assign(n, {});
+      if (e.fn == "f_ID") {
+        for (std::size_t j = 0; j < n; ++j) {
+          for (long long k : a->pieces[j]) {
+            if (k >= 0 && static_cast<std::size_t>(k) < sT) {
+              v.pieces[j].insert(k);
+            }
+          }
+        }
+        return v;
+      }
+      auto fit = cert.fns.find(e.fn);
+      if (fit == cert.fns.end()) {
+        rep.error("image references fn '" + e.fn +
+                  "' missing from the certificate");
+        return std::nullopt;
+      }
+      const FnTable& ft = fit->second;
+      for (std::size_t j = 0; j < n; ++j) {
+        for (long long k : a->pieces[j]) {
+          if (k < 0) continue;
+          const auto ki = static_cast<std::size_t>(k);
+          if (ft.rangeValued) {
+            if (ki >= ft.runs.size()) continue;
+            for (long long l = ft.runs[ki].first; l < ft.runs[ki].second;
+                 ++l) {
+              if (l >= 0 && static_cast<std::size_t>(l) < sT) {
+                v.pieces[j].insert(l);
+              }
+            }
+          } else {
+            if (ki >= ft.points.size()) continue;
+            const long long l = ft.points[ki];
+            if (l >= 0 && static_cast<std::size_t>(l) < sT) {
+              v.pieces[j].insert(l);
+            }
+          }
+        }
+      }
+      return v;
+    }
+    case PExpr::Kind::Preimage: {
+      auto a = evaluate(cert, *e.arg, env, rep);
+      if (!a) return std::nullopt;
+      const std::size_t sS = certSize(cert, e.region);
+      Value v;
+      v.ground = a->ground;
+      v.pieces.assign(n, {});
+      if (e.fn == "f_ID") {
+        for (std::size_t j = 0; j < n; ++j) {
+          for (long long k : a->pieces[j]) {
+            if (k >= 0 && static_cast<std::size_t>(k) < sS) {
+              v.pieces[j].insert(k);
+            }
+          }
+        }
+        return v;
+      }
+      auto fit = cert.fns.find(e.fn);
+      if (fit == cert.fns.end()) {
+        rep.error("preimage references fn '" + e.fn +
+                  "' missing from the certificate");
+        return std::nullopt;
+      }
+      const FnTable& ft = fit->second;
+      const std::size_t dom =
+          ft.rangeValued ? ft.runs.size() : ft.points.size();
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t k = 0; k < dom && k < sS; ++k) {
+          if (ft.rangeValued) {
+            bool hit = false;
+            for (long long l = ft.runs[k].first;
+                 !hit && l < ft.runs[k].second; ++l) {
+              hit = a->pieces[j].contains(l);
+            }
+            if (hit) v.pieces[j].insert(static_cast<long long>(k));
+          } else if (a->pieces[j].contains(ft.points[k])) {
+            v.pieces[j].insert(static_cast<long long>(k));
+          }
+        }
+      }
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- semantic checks ------------------------------------------------------
+
+std::size_t totalElems(const Value& v) {
+  std::size_t t = 0;
+  for (const auto& p : v.pieces) t += p.size();
+  return t;
+}
+
+void checkConjunct(const Cert& cert, const Conjunct& c, const Env& env,
+                   Report& rep) {
+  if (c.assumed) return;  // hypothesis, not an obligation
+  auto evalOne = [&](const PExprPtr& e) { return evaluate(cert, *e, env, rep); };
+  if (c.kind == Conjunct::Kind::Subset) {
+    auto l = evalOne(c.lhs);
+    auto r = evalOne(c.rhs);
+    if (!l || !r) return;
+    if (!l->ground || !r->ground) {
+      ++rep.skippedConjuncts;
+      return;
+    }
+    ++rep.checkedConjuncts;
+    for (std::size_t j = 0; j < cert.pieces; ++j) {
+      for (long long k : l->pieces[j]) {
+        if (!r->pieces[j].contains(k)) {
+          rep.error("subset violated at piece " + std::to_string(j) +
+                    ", index " + std::to_string(k) + ": " + c.lhsText +
+                    " <= " + c.rhsText);
+          return;
+        }
+      }
+    }
+    return;
+  }
+  auto v = evalOne(c.expr);
+  if (!v) return;
+  if (!v->ground) {
+    ++rep.skippedConjuncts;
+    return;
+  }
+  ++rep.checkedConjuncts;
+  const std::size_t s = certSize(cert, c.region);
+  switch (c.kind) {
+    case Conjunct::Kind::Part:
+      for (std::size_t j = 0; j < cert.pieces; ++j) {
+        for (long long k : v->pieces[j]) {
+          if (k < 0 || static_cast<std::size_t>(k) >= s) {
+            rep.error("PART violated: index " + std::to_string(k) +
+                      " outside [0, " + std::to_string(s) + ") in " +
+                      c.exprText);
+            return;
+          }
+        }
+      }
+      break;
+    case Conjunct::Kind::Disj: {
+      std::set<long long> claimed;
+      for (std::size_t j = 0; j < cert.pieces; ++j) {
+        for (long long k : v->pieces[j]) {
+          if (!claimed.insert(k).second) {
+            rep.error("DISJ violated: index " + std::to_string(k) +
+                      " in two pieces of " + c.exprText);
+            return;
+          }
+        }
+      }
+      break;
+    }
+    case Conjunct::Kind::Comp: {
+      std::set<long long> covered;
+      for (const auto& p : v->pieces) covered.insert(p.begin(), p.end());
+      for (std::size_t k = 0; k < s; ++k) {
+        if (!covered.contains(static_cast<long long>(k))) {
+          rep.error("COMP violated: index " + std::to_string(k) +
+                    " of region '" + c.region + "' uncovered in " +
+                    c.exprText);
+          return;
+        }
+      }
+      break;
+    }
+    case Conjunct::Kind::Subset:
+      break;  // handled above
+  }
+}
+
+void checkVocabulary(const Cert& cert, const Env& env, Report& rep) {
+  auto lookup = [&](const std::string& sym) -> const Value* {
+    auto it = env.find(sym);
+    return it == env.end() || !it->second.ground ? nullptr : &it->second;
+  };
+  for (const auto& [sym, cap] : cert.capacity) {
+    const Value* v = lookup(sym);
+    if (v == nullptr) continue;
+    for (std::size_t j = 0; j < v->pieces.size(); ++j) {
+      if (v->pieces[j].size() > cap) {
+        rep.error("capacity violated: '" + sym + "' piece " +
+                  std::to_string(j) + " holds " +
+                  std::to_string(v->pieces[j].size()) + " > " +
+                  std::to_string(cap));
+        break;
+      }
+    }
+  }
+  for (const auto& [sym, window] : cert.replication) {
+    const Value* v = lookup(sym);
+    if (v == nullptr) continue;
+    auto sit = cert.symbols.find(sym);
+    const std::size_t s =
+        sit == cert.symbols.end() ? kMax : certSize(cert, sit->second.region);
+    if (s == kMax) continue;
+    const double total = static_cast<double>(totalElems(*v));
+    const double base = static_cast<double>(s);
+    if (window.first > 0 && total + 1e-9 < window.first * base) {
+      rep.error("replication floor violated: '" + sym + "' materializes " +
+                std::to_string(totalElems(*v)) + " elements, needs >= " +
+                std::to_string(window.first) + " x " + std::to_string(s));
+    }
+    if (window.second > 0 && total > window.second * base + 1e-9) {
+      rep.error("replication ceiling violated: '" + sym +
+                "' materializes " + std::to_string(totalElems(*v)) +
+                " elements, allows <= " + std::to_string(window.second) +
+                " x " + std::to_string(s));
+    }
+  }
+  for (const SymbolPair& p : cert.colocated) {
+    const Value* a = lookup(p.symA);
+    const Value* b = lookup(p.symB);
+    if (a == nullptr || b == nullptr) continue;
+    for (std::size_t j = 0; j < cert.pieces; ++j) {
+      if (a->pieces[j] != b->pieces[j]) {
+        rep.error("co-location violated at piece " + std::to_string(j) +
+                  ": " + p.symA + " vs " + p.symB + " (fields " + p.fieldA +
+                  ", " + p.fieldB + ")");
+        break;
+      }
+    }
+  }
+  for (const SymbolPair& p : cert.antiAffine) {
+    const Value* a = lookup(p.symA);
+    const Value* b = lookup(p.symB);
+    if (a == nullptr || b == nullptr) continue;
+    for (std::size_t j = 0; j < cert.pieces; ++j) {
+      bool overlap = false;
+      for (long long k : a->pieces[j]) {
+        if (b->pieces[j].contains(k)) {
+          overlap = true;
+          break;
+        }
+      }
+      if (overlap) {
+        rep.error("anti-affinity violated at piece " + std::to_string(j) +
+                  ": " + p.symA + " overlaps " + p.symB + " (fields " +
+                  p.fieldA + ", " + p.fieldB + ")");
+        break;
+      }
+    }
+  }
+}
+
+void collectSymbols(const PExpr& e, std::set<std::string>& out) {
+  switch (e.kind) {
+    case PExpr::Kind::Symbol: out.insert(e.name); break;
+    case PExpr::Kind::Union:
+    case PExpr::Kind::Intersect:
+    case PExpr::Kind::Subtract:
+      collectSymbols(*e.lhs, out);
+      collectSymbols(*e.rhs, out);
+      break;
+    case PExpr::Kind::Image:
+    case PExpr::Kind::Preimage:
+      collectSymbols(*e.arg, out);
+      break;
+    case PExpr::Kind::Equal: break;
+  }
+}
+
+void checkSolution(const Cert& cert, Report& rep) {
+  // Every open symbol assigned exactly once, in dependency order.
+  std::set<std::string> assigned;
+  for (const auto& [sym, expr] : cert.assigns) {
+    auto sit = cert.symbols.find(sym);
+    if (sit == cert.symbols.end()) {
+      rep.error("assign to undeclared symbol '" + sym + "'");
+      continue;
+    }
+    if (sit->second.fixed) {
+      rep.error("assign to fixed symbol '" + sym + "'");
+    }
+    if (!assigned.insert(sym).second) {
+      rep.error("symbol '" + sym + "' assigned twice");
+    }
+    std::set<std::string> refs;
+    collectSymbols(*expr, refs);
+    for (const std::string& r : refs) {
+      auto rit = cert.symbols.find(r);
+      if (rit == cert.symbols.end()) {
+        rep.error("assign of '" + sym + "' references undeclared '" + r +
+                  "'");
+      } else if (!rit->second.fixed && !assigned.contains(r)) {
+        rep.error("assign of '" + sym + "' references '" + r +
+                  "' before its assignment (order violates dependencies)");
+      }
+    }
+  }
+  for (const auto& [sym, decl] : cert.symbols) {
+    if (!decl.fixed && !assigned.contains(sym)) {
+      rep.error("open symbol '" + sym + "' has no assignment");
+    }
+  }
+
+  // Evaluate assignments and check every conjunct + vocabulary constraint.
+  Env env;
+  for (const auto& [sym, expr] : cert.assigns) {
+    auto v = evaluate(cert, *expr, env, rep);
+    if (v) env[sym] = std::move(*v);
+  }
+  for (const Conjunct& c : cert.conjuncts) checkConjunct(cert, c, env, rep);
+  checkVocabulary(cert, env, rep);
+
+  // Plan section: the DPL program must re-derive the assigned partitions,
+  // and the embedded runtime expectations must hold.
+  Env dplEnv;
+  for (const auto& [name, expr] : cert.dplStmts) {
+    auto v = evaluate(cert, *expr, dplEnv, rep);
+    if (v) dplEnv[name] = std::move(*v);
+  }
+  for (const auto& [sym, v] : env) {
+    auto it = dplEnv.find(sym);
+    if (it == dplEnv.end()) {
+      if (!cert.dplStmts.empty()) {
+        rep.error("assigned symbol '" + sym +
+                  "' is not defined by the plan's DPL program");
+      }
+      continue;
+    }
+    if (v.ground && it->second.ground && v.pieces != it->second.pieces) {
+      rep.error("plan cross-validation failed: DPL value of '" + sym +
+                "' differs from the solver's assignment");
+    }
+  }
+  auto dplLookup = [&](const std::string& name) -> const Value* {
+    auto it = dplEnv.find(name);
+    if (it != dplEnv.end()) return &it->second;
+    return nullptr;
+  };
+  for (const auto& kv : cert.expectations) {
+    auto get = [&](const char* key) {
+      auto it = kv.find(key);
+      return it == kv.end() ? std::string() : it->second;
+    };
+    const std::string part = get("partition");
+    const Value* v = dplLookup(part);
+    if (v == nullptr) {
+      auto sit = cert.symbols.find(part);
+      if (sit == cert.symbols.end() || !sit->second.fixed) {
+        rep.error("expectation names partition '" + part +
+                  "' that the plan never defines");
+      }
+      continue;
+    }
+    if (!v->ground) {
+      ++rep.skippedConjuncts;
+      continue;
+    }
+    const std::string regionName = get("region");
+    const std::size_t s = certSize(cert, regionName);
+    if (!regionName.empty() && s == kMax) {
+      rep.error("expectation on '" + part + "' names unknown region '" +
+                regionName + "'");
+      continue;
+    }
+    if (!regionName.empty()) {
+      for (const auto& piece : v->pieces) {
+        for (long long k : piece) {
+          if (k < 0 || static_cast<std::size_t>(k) >= s) {
+            rep.error("expectation violated: '" + part + "' has index " +
+                      std::to_string(k) + " outside [0, " +
+                      std::to_string(s) + ")");
+            break;
+          }
+        }
+      }
+    }
+    if (get("disjoint") == "1") {
+      std::set<long long> claimed;
+      for (const auto& piece : v->pieces) {
+        for (long long k : piece) {
+          if (!claimed.insert(k).second) {
+            rep.error("expectation violated: '" + part + "' not disjoint");
+            break;
+          }
+        }
+      }
+    }
+    if (get("complete") == "1" && !regionName.empty()) {
+      std::set<long long> covered;
+      for (const auto& piece : v->pieces) {
+        covered.insert(piece.begin(), piece.end());
+      }
+      if (covered.size() < s) {
+        rep.error("expectation violated: '" + part + "' not complete over '" +
+                  regionName + "'");
+      }
+    }
+    const std::string within = get("containedIn");
+    if (!within.empty()) {
+      const Value* outer = dplLookup(within);
+      if (outer != nullptr && outer->ground) {
+        for (std::size_t j = 0; j < cert.pieces; ++j) {
+          for (long long k : v->pieces[j]) {
+            if (!outer->pieces[j].contains(k)) {
+              rep.error("expectation violated: '" + part +
+                        "' escapes containment in '" + within + "'");
+              break;
+            }
+          }
+        }
+      }
+    }
+    const std::string cap = get("capacity");
+    if (!cap.empty()) {
+      const std::size_t capN = std::stoull(cap);
+      for (const auto& piece : v->pieces) {
+        if (piece.size() > capN) {
+          rep.error("expectation violated: '" + part + "' piece exceeds " +
+                    cap + " elements");
+          break;
+        }
+      }
+    }
+    const std::string repMin = get("replicationMin");
+    const std::string repMax = get("replicationMax");
+    if ((!repMin.empty() || !repMax.empty()) && !regionName.empty()) {
+      const double total = static_cast<double>(totalElems(*v));
+      const double base = static_cast<double>(s);
+      if (!repMin.empty() && total + 1e-9 < std::stod(repMin) * base) {
+        rep.error("expectation violated: '" + part +
+                  "' below replication floor");
+      }
+      if (!repMax.empty() && total > std::stod(repMax) * base + 1e-9) {
+        rep.error("expectation violated: '" + part +
+                  "' above replication ceiling");
+      }
+    }
+    const std::string colo = get("colocateWith");
+    if (!colo.empty()) {
+      const Value* other = dplLookup(colo);
+      if (other != nullptr && other->ground && v->pieces != other->pieces) {
+        rep.error("expectation violated: '" + part + "' not co-located with '" +
+                  colo + "'");
+      }
+    }
+    const std::string anti = get("antiAffineWith");
+    if (!anti.empty()) {
+      const Value* other = dplLookup(anti);
+      if (other != nullptr && other->ground) {
+        for (std::size_t j = 0; j < cert.pieces; ++j) {
+          for (long long k : v->pieces[j]) {
+            if (other->pieces[j].contains(k)) {
+              rep.error("expectation violated: '" + part + "' overlaps '" +
+                        anti + "' at piece " + std::to_string(j));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---- infeasibility replay -------------------------------------------------
+
+std::map<std::string, std::string> parseDetail(const std::string& detail) {
+  std::map<std::string, std::string> kv;
+  for (const std::string& tok : splitTokens(detail)) {
+    const auto eq = tok.find('=');
+    if (eq != std::string::npos) kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+struct ReplayNode {
+  std::size_t parent = 0;
+  std::string branchedSymbol;
+  std::vector<std::pair<std::string, PExprPtr>> cands;  // idx -> (sym, expr)
+  std::set<std::size_t> pruned, dedup, branched;
+  std::set<std::string> branchedEqualities;
+  bool refuted = false, leafBad = false, exhausted = false;
+  std::size_t branches = 0, backtracks = 0;
+  std::size_t line = 0;
+};
+
+bool hasCompConjunct(const Cert& cert, const std::string& sym) {
+  return std::any_of(cert.conjuncts.begin(), cert.conjuncts.end(),
+                     [&](const Conjunct& c) {
+                       return c.kind == Conjunct::Kind::Comp &&
+                              c.exprText == sym;
+                     });
+}
+
+bool hasDisjConjunct(const Cert& cert, const std::string& sym) {
+  return std::any_of(cert.conjuncts.begin(), cert.conjuncts.end(),
+                     [&](const Conjunct& c) {
+                       return c.kind == Conjunct::Kind::Disj &&
+                              c.exprText == sym;
+                     });
+}
+
+void checkRefutation(const Cert& cert, const Event& e, Report& rep) {
+  const auto kv = parseDetail(e.detail);
+  auto where = [&] { return "line " + std::to_string(e.line) + ": "; };
+  auto sit = cert.symbols.find(e.symbol);
+  const std::size_t s =
+      sit == cert.symbols.end() ? kMax : certSize(cert, sit->second.region);
+  if (e.rule == "capacity-comp") {
+    auto cit = cert.capacity.find(e.symbol);
+    if (cit == cert.capacity.end()) {
+      rep.error(where() + "capacity refutation of '" + e.symbol +
+                "' without a capacity vocab entry");
+      return;
+    }
+    if (!hasCompConjunct(cert, e.symbol)) {
+      rep.error(where() + "capacity pigeonhole needs a COMP conjunct on '" +
+                e.symbol + "'");
+      return;
+    }
+    if (s == kMax || cert.pieces == 0 ||
+        ceilDiv(s, cert.pieces) <= cit->second) {
+      rep.error(where() + "capacity pigeonhole does not hold: ceil(" +
+                std::to_string(s) + "/" + std::to_string(cert.pieces) +
+                ") <= " + std::to_string(cit->second));
+      return;
+    }
+    ++rep.rederivedJustifications;
+  } else if (e.rule == "replicate-comp" || e.rule == "replicate-disj") {
+    auto rit = cert.replication.find(e.symbol);
+    if (rit == cert.replication.end()) {
+      rep.error(where() + "replication refutation of '" + e.symbol +
+                "' without a replication vocab entry");
+      return;
+    }
+    if (s == kMax || s == 0) {
+      rep.error(where() + "replication refutation needs a known non-empty "
+                          "region for '" + e.symbol + "'");
+      return;
+    }
+    if (e.rule == "replicate-comp") {
+      if (!(rit->second.second > 0 && rit->second.second < 1.0) ||
+          !hasCompConjunct(cert, e.symbol)) {
+        rep.error(where() + "replicate-comp refutation does not hold for '" +
+                  e.symbol + "'");
+        return;
+      }
+    } else {
+      if (!(rit->second.first > 1.0) || !hasDisjConjunct(cert, e.symbol)) {
+        rep.error(where() + "replicate-disj refutation does not hold for '" +
+                  e.symbol + "'");
+        return;
+      }
+    }
+    ++rep.rederivedJustifications;
+  } else if (e.rule == "anti-self") {
+    const bool selfPair = std::any_of(
+        cert.antiAffine.begin(), cert.antiAffine.end(), [&](const SymbolPair& p) {
+          return p.symA == e.symbol && p.symB == e.symbol;
+        });
+    if (!selfPair || s == kMax || s == 0 ||
+        !hasCompConjunct(cert, e.symbol)) {
+      rep.error(where() + "anti-self refutation does not hold for '" +
+                e.symbol + "'");
+      return;
+    }
+    ++rep.rederivedJustifications;
+  } else {
+    rep.warn(where() + "unknown refutation rule '" + e.rule +
+             "' (not re-derived)");
+    (void)kv;
+  }
+}
+
+void checkPrune(const Cert& cert, const ReplayNode& node, const Event& e,
+                Report& rep) {
+  auto where = [&] { return "line " + std::to_string(e.line) + ": "; };
+  if (e.idx >= node.cands.size()) {
+    rep.error(where() + "prune of candidate " + std::to_string(e.idx) +
+              " beyond the node's candidate list");
+    return;
+  }
+  const auto& [sym, expr] = node.cands[e.idx];
+  const Bounds b = boundsOf(cert, *expr);
+  if (e.rule == "capacity") {
+    auto cit = cert.capacity.find(sym);
+    if (cit == cert.capacity.end() || b.maxPieceLo <= cit->second) {
+      rep.error(where() + "capacity prune unjustified: maxPieceLo=" +
+                std::to_string(b.maxPieceLo) + " for " + exprToString(*expr));
+      return;
+    }
+    ++rep.rederivedJustifications;
+  } else if (e.rule == "replicate-max" || e.rule == "replicate-min") {
+    auto rit = cert.replication.find(sym);
+    auto sit = cert.symbols.find(sym);
+    const std::size_t s =
+        sit == cert.symbols.end() ? kMax : certSize(cert, sit->second.region);
+    if (rit == cert.replication.end() || s == kMax) {
+      rep.error(where() + "replication prune without a vocab entry / known "
+                          "region size for '" + sym + "'");
+      return;
+    }
+    const double base = static_cast<double>(s);
+    if (e.rule == "replicate-max") {
+      if (!(rit->second.second > 0 &&
+            static_cast<double>(b.totalLo) > rit->second.second * base)) {
+        rep.error(where() + "replicate-max prune unjustified: totalLo=" +
+                  std::to_string(b.totalLo) + " for " + exprToString(*expr));
+        return;
+      }
+    } else {
+      if (!(rit->second.first > 0 && b.totalHi != kMax &&
+            static_cast<double>(b.totalHi) < rit->second.first * base)) {
+        rep.error(where() + "replicate-min prune unjustified: totalHi=" +
+                  std::to_string(b.totalHi) + " for " + exprToString(*expr));
+        return;
+      }
+    }
+    ++rep.rederivedJustifications;
+  } else if (e.rule == "anti-self" || e.rule == "anti") {
+    if (b.totalLo == 0) {
+      rep.error(where() + "anti prune unjustified: candidate can be empty (" +
+                exprToString(*expr) + ")");
+      return;
+    }
+    ++rep.rederivedJustifications;
+  } else if (e.rule == "colocate") {
+    const auto kv = parseDetail(e.detail);
+    auto wit = kv.find("want");
+    if (wit == kv.end()) {
+      rep.warn(where() + "colocate prune without a want= justification");
+      return;
+    }
+    // The justification must actually differ from the pruned candidate
+    // (otherwise the identical expression was wrongly removed). 'want' was
+    // emitted with spaces, which token parsing strips; compare prefixes.
+    const std::string candText = exprToString(*expr);
+    if (candText == e.detail.substr(e.detail.find("want=") + 5)) {
+      rep.error(where() + "colocate prune removed the matching expression " +
+                candText);
+      return;
+    }
+    ++rep.rederivedJustifications;
+  } else {
+    rep.warn(where() + "unknown prune rule '" + e.rule +
+             "' (not re-derived)");
+  }
+}
+
+void checkInfeasible(const Cert& cert, Report& rep) {
+  // Only the final attempt proves exhaustion; earlier attempts ended on
+  // their restart budgets.
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < cert.trail.size(); ++i) {
+    if (cert.trail[i].type == Event::Type::Restart) start = i + 1;
+  }
+  std::map<std::size_t, ReplayNode> nodes;
+  for (std::size_t i = start; i < cert.trail.size(); ++i) {
+    const Event& e = cert.trail[i];
+    auto where = [&] { return "line " + std::to_string(e.line) + ": "; };
+    switch (e.type) {
+      case Event::Type::Restart: break;
+      case Event::Type::Node: {
+        ReplayNode n;
+        n.parent = e.parent;
+        n.branchedSymbol = e.symbol;
+        n.line = e.line;
+        nodes[e.node] = std::move(n);
+        break;
+      }
+      case Event::Type::Cand: {
+        ReplayNode& n = nodes[e.node];
+        if (e.idx != n.cands.size()) {
+          rep.error(where() + "candidate indices out of order at node " +
+                    std::to_string(e.node));
+        }
+        n.cands.emplace_back(e.symbol, e.expr);
+        break;
+      }
+      case Event::Type::Dedup: {
+        ReplayNode& n = nodes[e.node];
+        if (e.idx >= n.cands.size()) {
+          rep.error(where() + "dedup beyond the candidate list");
+          break;
+        }
+        const std::string eq = n.cands[e.idx].first + " = " +
+                               exprToString(*n.cands[e.idx].second);
+        if (!n.branchedEqualities.contains(eq)) {
+          rep.error(where() + "dedup of '" + eq +
+                    "' without a prior branch on the same equality");
+        }
+        n.dedup.insert(e.idx);
+        break;
+      }
+      case Event::Type::Prune: {
+        ReplayNode& n = nodes[e.node];
+        checkPrune(cert, n, e, rep);
+        if (!n.pruned.insert(e.idx).second) {
+          rep.error(where() + "candidate " + std::to_string(e.idx) +
+                    " pruned twice");
+        }
+        break;
+      }
+      case Event::Type::Refute:
+        checkRefutation(cert, e, rep);
+        nodes[e.node].refuted = true;
+        break;
+      case Event::Type::Branch: {
+        ReplayNode& n = nodes[e.node];
+        if (e.idx >= n.cands.size()) {
+          rep.error(where() + "branch beyond the candidate list");
+          break;
+        }
+        if (n.pruned.contains(e.idx)) {
+          rep.error(where() + "branch on pruned candidate " +
+                    std::to_string(e.idx));
+        }
+        n.branched.insert(e.idx);
+        n.branchedEqualities.insert(n.cands[e.idx].first + " = " +
+                                    exprToString(*n.cands[e.idx].second));
+        ++n.branches;
+        break;
+      }
+      case Event::Type::LeafOk:
+        rep.error(where() + "infeasibility certificate contains a "
+                            "successful leaf");
+        break;
+      case Event::Type::LeafBad:
+        nodes[e.node].leafBad = true;
+        break;
+      case Event::Type::Backtrack:
+        ++nodes[e.node].backtracks;
+        break;
+      case Event::Type::Exhausted:
+        nodes[e.node].exhausted = true;
+        break;
+      case Event::Type::Budget:
+        rep.error(where() + "final attempt was truncated by the step "
+                            "budget; the trail proves nothing");
+        break;
+    }
+  }
+  if (nodes.empty()) {
+    rep.error("infeasibility certificate records no search nodes");
+    return;
+  }
+  for (const auto& [id, n] : nodes) {
+    auto where = [&, id = id] {
+      return "node " + std::to_string(id) + " (line " +
+             std::to_string(n.line) + "): ";
+    };
+    if (n.refuted || n.leafBad) continue;  // decisively failed
+    if (!n.exhausted) {
+      rep.error(where() + "neither refuted, failed as a leaf, nor "
+                          "exhausted");
+      continue;
+    }
+    if (n.branches != n.backtracks) {
+      rep.error(where() + std::to_string(n.branches) + " branches but " +
+                std::to_string(n.backtracks) + " backtracks");
+    }
+    for (std::size_t idx = 0; idx < n.cands.size(); ++idx) {
+      if (!n.pruned.contains(idx) && !n.dedup.contains(idx) &&
+          !n.branched.contains(idx)) {
+        rep.error(where() + "candidate " + std::to_string(idx) + " (" +
+                  n.cands[idx].first + " = " +
+                  exprToString(*n.cands[idx].second) +
+                  ") was never pruned, deduplicated or branched — the "
+                  "search was not exhaustive");
+      }
+    }
+  }
+}
+
+// ---- driver ---------------------------------------------------------------
+
+bool checkFile(const std::string& path, bool strict) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "proof_check: cannot open '" << path << "'\n";
+    return false;
+  }
+  Cert cert;
+  Report rep;
+  if (parseCert(in, cert, rep)) {
+    if (cert.pieces == 0) rep.warn("certificate declares pieces=0");
+    if (!cert.sawBeginSearch) rep.error("missing 'begin search'");
+    if (cert.hasSolution == cert.hasInfeasible) {
+      rep.error("certificate must end in exactly one verdict "
+                "(solution xor infeasible)");
+    } else if (cert.hasSolution) {
+      checkSolution(cert, rep);
+    } else {
+      checkInfeasible(cert, rep);
+    }
+    for (const auto& [id, ft] : cert.fns) {
+      const std::size_t dom = certSize(cert, ft.domain);
+      const std::size_t n = ft.rangeValued ? ft.runs.size()
+                                           : ft.points.size();
+      if (dom != kMax && n != dom) {
+        rep.error("fn '" + id + "' table has " + std::to_string(n) +
+                  " entries for a domain of " + std::to_string(dom));
+      }
+    }
+  }
+  if (strict) {
+    for (const std::string& w : rep.warnings) rep.errors.push_back(w);
+    rep.warnings.clear();
+    if (rep.skippedConjuncts > 0) {
+      rep.errors.push_back(std::to_string(rep.skippedConjuncts) +
+                           " conjunct(s)/expectation(s) skipped as "
+                           "conditional on external hypotheses");
+    }
+  }
+  for (const std::string& w : rep.warnings) {
+    std::cerr << path << ": warning: " << w << "\n";
+  }
+  if (!rep.errors.empty()) {
+    for (const std::string& e : rep.errors) {
+      std::cerr << path << ": " << e << "\n";
+    }
+    return false;
+  }
+  std::cout << "OK: " << path << " verdict="
+            << (cert.hasSolution ? "solution" : "infeasible")
+            << " lines=" << cert.lineCount
+            << " checked=" << rep.checkedConjuncts
+            << " skipped=" << rep.skippedConjuncts
+            << " rederived=" << rep.rederivedJustifications << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: proof_check [--strict] cert.dprf...\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: proof_check [--strict] cert.dprf...\n";
+    return 2;
+  }
+  bool ok = true;
+  for (const std::string& f : files) ok = checkFile(f, strict) && ok;
+  return ok ? 0 : 1;
+}
